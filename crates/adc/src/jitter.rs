@@ -1,0 +1,143 @@
+//! Aperture / sampling-clock jitter.
+//!
+//! At the paper's rates (>500 MSps on >500 MHz-wide signals) clock jitter is
+//! a first-order ADC error: SNR from jitter alone is
+//! `−20 log10(2π f_in σ_t)`, independent of resolution.
+
+use uwb_dsp::Complex;
+use uwb_sim::rng::Rand;
+
+/// Applies random sampling-time jitter to a real signal using first-order
+/// (derivative) interpolation: `x(t+δ) ≈ x(t) + δ x'(t)`.
+///
+/// `sigma_s` is the RMS jitter in seconds; `fs_hz` the nominal sample rate.
+pub fn apply_jitter_real(signal: &[f64], sigma_s: f64, fs_hz: f64, rng: &mut Rand) -> Vec<f64> {
+    if sigma_s <= 0.0 || signal.len() < 3 {
+        return signal.to_vec();
+    }
+    let dt = 1.0 / fs_hz;
+    let n = signal.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let deriv = if i > 0 && i + 1 < n {
+            (signal[i + 1] - signal[i - 1]) / (2.0 * dt)
+        } else {
+            0.0
+        };
+        out.push(signal[i] + sigma_s * rng.gaussian() * deriv);
+    }
+    out
+}
+
+/// Complex-signal variant of [`apply_jitter_real`] (common clock for I and
+/// Q, as in a shared sample-and-hold).
+pub fn apply_jitter_complex(
+    signal: &[Complex],
+    sigma_s: f64,
+    fs_hz: f64,
+    rng: &mut Rand,
+) -> Vec<Complex> {
+    if sigma_s <= 0.0 || signal.len() < 3 {
+        return signal.to_vec();
+    }
+    let dt = 1.0 / fs_hz;
+    let n = signal.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let deriv = if i > 0 && i + 1 < n {
+            (signal[i + 1] - signal[i - 1]) * (1.0 / (2.0 * dt))
+        } else {
+            Complex::ZERO
+        };
+        out.push(signal[i] + deriv * (sigma_s * rng.gaussian()));
+    }
+    out
+}
+
+/// Theoretical jitter-limited SNR in dB for a sinusoid at `f_in_hz` with RMS
+/// jitter `sigma_s`: `−20 log10(2π f σ)`.
+pub fn jitter_snr_db(f_in_hz: f64, sigma_s: f64) -> f64 {
+    -20.0 * (std::f64::consts::TAU * f_in_hz * sigma_s).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_jitter_passthrough() {
+        let mut rng = Rand::new(1);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(apply_jitter_real(&x, 0.0, 1e9, &mut rng), x);
+    }
+
+    #[test]
+    fn measured_snr_matches_theory() {
+        let mut rng = Rand::new(2);
+        let fs = 8e9;
+        let f_in = 1.0e9;
+        let sigma = 2e-12; // 2 ps RMS
+        let n = 65_536;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * f_in * i as f64 / fs).sin())
+            .collect();
+        let y = apply_jitter_real(&x, sigma, fs, &mut rng);
+        let err: f64 = x[1..n - 1]
+            .iter()
+            .zip(&y[1..n - 1])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / (n - 2) as f64;
+        let sig: f64 = 0.5;
+        let snr = 10.0 * (sig / err).log10();
+        let theory = jitter_snr_db(f_in, sigma);
+        assert!((snr - theory).abs() < 1.5, "measured {snr} vs theory {theory}");
+    }
+
+    #[test]
+    fn error_scales_with_input_frequency() {
+        let mut rng = Rand::new(3);
+        let fs = 8e9;
+        let sigma = 5e-12;
+        let n = 16_384;
+        let err_at = |f_in: f64, rng: &mut Rand| {
+            let x: Vec<f64> = (0..n)
+                .map(|i| (std::f64::consts::TAU * f_in * i as f64 / fs).sin())
+                .collect();
+            let y = apply_jitter_real(&x, sigma, fs, rng);
+            x[1..n - 1]
+                .iter()
+                .zip(&y[1..n - 1])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+        };
+        let low = err_at(0.1e9, &mut rng);
+        let high = err_at(1.6e9, &mut rng);
+        // 16x frequency -> ~256x error power.
+        assert!(high / low > 100.0, "{}", high / low);
+    }
+
+    #[test]
+    fn complex_variant_consistent() {
+        let mut rng_r = Rand::new(4);
+        let mut rng_c = Rand::new(4);
+        let fs = 1e9;
+        let sigma = 10e-12;
+        let xr: Vec<f64> = (0..256)
+            .map(|i| (std::f64::consts::TAU * 0.05 * i as f64).sin())
+            .collect();
+        let xc: Vec<Complex> = xr.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let yr = apply_jitter_real(&xr, sigma, fs, &mut rng_r);
+        let yc = apply_jitter_complex(&xc, sigma, fs, &mut rng_c);
+        for (a, b) in yr.iter().zip(&yc) {
+            assert!((a - b.re).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn theory_reference_value() {
+        // 1 GHz input, 1 ps jitter: -20log10(2*pi*1e9*1e-12) = 44.0 dB.
+        let snr = jitter_snr_db(1e9, 1e-12);
+        assert!((snr - 44.04).abs() < 0.1, "{snr}");
+    }
+}

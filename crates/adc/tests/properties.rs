@@ -1,0 +1,116 @@
+//! Property-based tests for converter invariants.
+
+use proptest::prelude::*;
+use uwb_adc::{FlashAdc, InterleaveMismatch, InterleavedAdc, Quantizer, SarAdc};
+use uwb_sim::Rand;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantization error is bounded by half an LSB inside full scale.
+    #[test]
+    fn quantizer_error_bound(bits in 1u32..12, x in -0.999f64..0.999) {
+        let q = Quantizer::new(bits, 1.0);
+        let e = (q.quantize(x) - x).abs();
+        prop_assert!(e <= q.step() / 2.0 + 1e-12);
+    }
+
+    /// Quantization is monotone non-decreasing.
+    #[test]
+    fn quantizer_monotone(bits in 1u32..10, a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        let q = Quantizer::new(bits, 1.0);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+        prop_assert!(q.quantize_code(lo) <= q.quantize_code(hi));
+    }
+
+    /// Codes always reconstruct to the value that re-quantizes to the same
+    /// code (idempotence).
+    #[test]
+    fn quantizer_idempotent(bits in 1u32..10, x in -3.0f64..3.0) {
+        let q = Quantizer::new(bits, 1.0);
+        let y = q.quantize(x);
+        prop_assert_eq!(q.quantize(y), y);
+        let c = q.quantize_code(x);
+        prop_assert_eq!(q.quantize_code(q.reconstruct(c)), c);
+    }
+
+    /// An ideal flash converter agrees with the ideal quantizer everywhere.
+    #[test]
+    fn flash_matches_quantizer(bits in 1u32..9, x in -2.0f64..2.0) {
+        let flash = FlashAdc::ideal(bits, 1.0);
+        let q = Quantizer::new(bits, 1.0);
+        prop_assert!((flash.convert(x) - q.quantize(x)).abs() < 1e-12);
+    }
+
+    /// A flash converter with offsets stays monotone (bubble-corrected).
+    #[test]
+    fn flash_monotone_with_offsets(seed in any::<u64>(), sigma in 0.0f64..0.05) {
+        let mut rng = Rand::new(seed);
+        let flash = FlashAdc::with_offsets(5, 1.0, sigma, &mut rng);
+        let mut prev = 0u32;
+        for i in -40..=40 {
+            let c = flash.convert_code(i as f64 / 40.0);
+            prop_assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    /// An ideal SAR converter agrees with the ideal quantizer.
+    #[test]
+    fn sar_matches_quantizer(bits in 1u32..12, x in -0.999f64..0.999) {
+        let sar = SarAdc::ideal(bits, 1.0);
+        let q = Quantizer::new(bits, 1.0);
+        let mut rng = Rand::new(0);
+        prop_assert!((sar.convert(x, &mut rng) - q.quantize(x)).abs() < 1e-12);
+    }
+
+    /// For an ideal SAR, code/reconstruct round-trips exactly; with weight
+    /// mismatch the reconstruction still re-converts to within one code of
+    /// the original (the half-LSB recentering can straddle a shifted
+    /// boundary).
+    #[test]
+    fn sar_code_round_trip(seed in any::<u64>()) {
+        let ideal = SarAdc::ideal(6, 1.0);
+        let mut r = Rand::new(1);
+        for code in 0..64u32 {
+            prop_assert_eq!(ideal.convert_code(ideal.reconstruct(code), &mut r), code);
+        }
+        let mut rng = Rand::new(seed);
+        let real = SarAdc::with_mismatch(6, 1.0, 0.01, 0.0, &mut rng);
+        for code in 0..64u32 {
+            let back = real.convert_code(real.reconstruct(code), &mut r);
+            prop_assert!(back.abs_diff(code) <= 1, "code {code} -> {back}");
+        }
+    }
+
+    /// An ideal interleaved converter is lane-transparent: output equals a
+    /// single ideal flash regardless of the lane count.
+    #[test]
+    fn interleave_transparent(m in 1usize..8, seed in any::<u64>()) {
+        let mut rng = Rand::new(seed);
+        let adc = InterleavedAdc::new(m, 4, 1.0, 2e9, InterleaveMismatch::none(), &mut rng);
+        let single = FlashAdc::ideal(4, 1.0);
+        let x: Vec<f64> = (0..200).map(|i| 0.9 * (i as f64 * 0.173).sin()).collect();
+        prop_assert_eq!(adc.convert_block(&x), single.convert_block(&x));
+    }
+
+    /// Parallelizer preserves every sample exactly once.
+    #[test]
+    fn parallelize_partition(n in 1usize..500, seed in any::<u64>()) {
+        let mut rng = Rand::new(seed);
+        let adc = InterleavedAdc::gen1(4, InterleaveMismatch::none(), &mut rng);
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let streams = adc.parallelize(&data);
+        let total: usize = streams.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+        // Reinterleave and compare.
+        let mut rebuilt = vec![0.0; n];
+        for (lane, s) in streams.iter().enumerate() {
+            for (k, &v) in s.iter().enumerate() {
+                rebuilt[k * 4 + lane] = v;
+            }
+        }
+        prop_assert_eq!(rebuilt, data);
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion benches for the DSP substrate kernels (FFT, FIR, PSD,
+//! correlation) — the arithmetic that dominates the digital back end's
+//! activity and therefore its power (paper §1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uwb_dsp::correlation::{cross_correlate, cross_correlate_fft};
+use uwb_dsp::{Complex, Fft, FirFilter, Window};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [256usize, 1024, 4096] {
+        let fft = Fft::new(n);
+        let x: Vec<Complex> = (0..n).map(|i| Complex::cis(0.1 * i as f64)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| fft.forward(std::hint::black_box(x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fir_filter");
+    let fir = FirFilter::lowpass(63, 0.2, Window::Hamming);
+    let x: Vec<Complex> = (0..4096).map(|i| Complex::cis(0.07 * i as f64)).collect();
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("63tap_4096", |b| {
+        b.iter(|| fir.filter_complex(std::hint::black_box(&x)))
+    });
+    group.finish();
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("correlation");
+    let sig: Vec<Complex> = (0..8192).map(|i| Complex::cis(0.03 * i as f64)).collect();
+    let tpl: Vec<Complex> = sig[100..356].to_vec();
+    group.bench_function("direct_8192x256", |b| {
+        b.iter(|| cross_correlate(std::hint::black_box(&sig), std::hint::black_box(&tpl)))
+    });
+    group.bench_function("fft_8192x256", |b| {
+        b.iter(|| cross_correlate_fft(std::hint::black_box(&sig), std::hint::black_box(&tpl)))
+    });
+    group.finish();
+}
+
+fn bench_psd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("welch_psd");
+    let sig: Vec<Complex> = (0..16_384).map(|i| Complex::cis(0.01 * i as f64)).collect();
+    group.bench_function("16k_1024seg", |b| {
+        b.iter(|| uwb_dsp::psd::welch(std::hint::black_box(&sig), 1e9, 1024, Window::Hann))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft, bench_fir, bench_correlation, bench_psd
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! End-to-end Criterion benches: whole gen2 packets (TX → channel → RX) and
+//! the gen1 link, plus the ADC models at line rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uwb_adc::{InterleaveMismatch, InterleavedAdc, Quantizer, SarAdc};
+use uwb_gen1::{Gen1Config, Gen1Receiver, Gen1Transmitter};
+use uwb_phy::{Gen2Config, Gen2Receiver, Gen2Transmitter};
+use uwb_sim::sv_channel::{ChannelModel, ChannelRealization};
+use uwb_sim::Rand;
+
+fn bench_gen2_packet(c: &mut Criterion) {
+    let cfg = Gen2Config {
+        preamble_repeats: 2,
+        ..Gen2Config::nominal_100mbps()
+    };
+    let tx = Gen2Transmitter::new(cfg.clone()).unwrap();
+    let rx = Gen2Receiver::new(cfg.clone()).unwrap();
+    let payload = vec![0x5Au8; 32];
+
+    c.bench_function("gen2_tx_32byte_packet", |b| {
+        b.iter(|| tx.transmit_packet(std::hint::black_box(&payload)))
+    });
+
+    let burst = tx.transmit_packet(&payload).unwrap();
+    let mut rng = Rand::new(1);
+    let ch = ChannelRealization::generate(ChannelModel::Cm1, &mut rng);
+    let through = ch.apply(&burst.samples, cfg.sample_rate);
+    c.bench_function("gen2_rx_32byte_packet_cm1", |b| {
+        b.iter(|| rx.receive_packet(std::hint::black_box(&through)).unwrap())
+    });
+}
+
+fn bench_gen1_link(c: &mut Criterion) {
+    let cfg = Gen1Config {
+        pulses_per_bit: 8,
+        ..Gen1Config::demonstrated_193kbps()
+    };
+    let tx = Gen1Transmitter::new(cfg.clone());
+    let rx = Gen1Receiver::new(cfg, InterleaveMismatch::typical(), 2);
+    let bits = vec![true, false, true, true, false, false, true, false];
+    let burst = tx.transmit(&bits);
+    c.bench_function("gen1_rx_8bits", |b| {
+        b.iter(|| rx.receive(std::hint::black_box(&burst.samples), 8).unwrap())
+    });
+}
+
+fn bench_adc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adc_100k_samples");
+    group.throughput(Throughput::Elements(100_000));
+    let x: Vec<f64> = (0..100_000).map(|i| (i as f64 * 0.01).sin() * 0.9).collect();
+
+    for bits in [1u32, 4, 5] {
+        let q = Quantizer::new(bits, 1.0);
+        group.bench_with_input(
+            BenchmarkId::new("ideal_quantizer", bits),
+            &q,
+            |b, q| b.iter(|| q.quantize_block(std::hint::black_box(&x))),
+        );
+    }
+
+    let mut rng = Rand::new(3);
+    let sar = SarAdc::with_mismatch(5, 1.0, 0.01, 0.0, &mut rng);
+    group.bench_function("sar_5bit", |b| {
+        let mut r = Rand::new(4);
+        b.iter(|| sar.convert_block(std::hint::black_box(&x), &mut r))
+    });
+
+    let interleaved = InterleavedAdc::gen1(4, InterleaveMismatch::typical(), &mut rng);
+    group.bench_function("interleaved_flash_4way", |b| {
+        b.iter(|| interleaved.convert_block(std::hint::black_box(&x)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gen2_packet, bench_gen1_link, bench_adc
+}
+criterion_main!(benches);

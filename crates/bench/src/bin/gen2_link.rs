@@ -1,0 +1,98 @@
+//! E5 — the gen2 100 Mbps direct-conversion link over multipath
+//! (paper §3, Fig. 3).
+//!
+//! BER vs Eb/N0 waterfalls in AWGN and CM1/CM3 channels, with the
+//! RAKE+channel-estimation receiver against a single-finger matched-filter
+//! baseline. Expected shape: the RAKE's margin over the single finger grows
+//! with delay spread, and AWGN tracks the BPSK theory curve.
+
+use uwb_bench::{banner, EXPERIMENT_SEED};
+use uwb_phy::Gen2Config;
+use uwb_platform::link::{run_ber_fast, LinkScenario};
+use uwb_platform::metrics::bpsk_awgn_ber;
+use uwb_platform::report::{format_rate, Table};
+use uwb_sim::sv_channel::ChannelModel;
+
+fn main() {
+    println!(
+        "{}",
+        banner("E5", "gen2 100 Mbps link: BER vs Eb/N0, RAKE vs 1-finger", "§3 / Fig. 3")
+    );
+
+    let grid = [2.0, 4.0, 6.0, 8.0, 10.0];
+    let target_errors = 60;
+    let max_bits = 150_000;
+
+    let rake_cfg = Gen2Config {
+        preamble_repeats: 2,
+        ..Gen2Config::nominal_100mbps()
+    };
+    let single_cfg = Gen2Config {
+        rake_fingers: 1,
+        ..rake_cfg.clone()
+    };
+    let mlse_cfg = Gen2Config {
+        mlse_taps: 3,
+        ..rake_cfg.clone()
+    };
+
+    for (label, channel) in [
+        ("AWGN", ChannelModel::Awgn),
+        ("CM1 (LOS, ~5 ns rms)", ChannelModel::Cm1),
+        ("CM3 (NLOS, ~14 ns rms)", ChannelModel::Cm3),
+    ] {
+        let mut table = Table::new(vec![
+            "Eb/N0 (dB)",
+            "BPSK theory",
+            "RAKE-8 + 4-bit est.",
+            "RAKE-8 + MLSE-3",
+            "1-finger baseline",
+        ]);
+        for &ebn0 in &grid {
+            let rake = run_ber_fast(
+                &LinkScenario {
+                    channel,
+                    ..LinkScenario::awgn(rake_cfg.clone(), ebn0, EXPERIMENT_SEED)
+                },
+                32,
+                target_errors,
+                max_bits,
+            );
+            let mlse = run_ber_fast(
+                &LinkScenario {
+                    channel,
+                    ..LinkScenario::awgn(mlse_cfg.clone(), ebn0, EXPERIMENT_SEED)
+                },
+                32,
+                target_errors,
+                max_bits,
+            );
+            let single = run_ber_fast(
+                &LinkScenario {
+                    channel,
+                    ..LinkScenario::awgn(single_cfg.clone(), ebn0, EXPERIMENT_SEED + 1)
+                },
+                32,
+                target_errors,
+                max_bits,
+            );
+            table.row(vec![
+                format!("{ebn0:.0}"),
+                format!("{:.2e}", bpsk_awgn_ber(ebn0)),
+                format_rate(rake.errors, rake.total),
+                format_rate(mlse.errors, mlse.total),
+                format_rate(single.errors, single.total),
+            ]);
+        }
+        println!("\nchannel: {label}\n{table}");
+    }
+
+    println!(
+        "expected shape (paper): the programmable RAKE + 4-bit channel estimate\n\
+         recovers the multipath energy; a single finger loses a growing fraction\n\
+         of the energy as delay spread rises from CM1 to CM3. Once the spread\n\
+         exceeds the 10 ns symbol, symbol-rate ISI raises the RAKE's floor and\n\
+         the Viterbi (MLSE) demodulator recovers it — the paper's §1 claim that\n\
+         \"the ISI due to multipath can be addressed with a Viterbi demodulator\"."
+    );
+}

@@ -1,0 +1,98 @@
+//! A4 — ablation: interleaved-ADC lane mismatch (paper §2's "4-way
+//! time-interleaved flash ADC").
+//!
+//! Interleaving buys 2 GSps from 500 MSps lanes at the cost of a new error
+//! family: per-lane offset, gain, and sample-time skew, which appear as
+//! spurs at multiples of fs/4. This ablation measures converter SNDR and
+//! the gen1 link BER as mismatch severity scales from ideal to 10× typical.
+
+use uwb_adc::{sine_test, InterleaveMismatch, InterleavedAdc};
+use uwb_bench::{banner, EXPERIMENT_SEED};
+use uwb_gen1::{Gen1Config, Gen1Receiver, Gen1Transmitter};
+use uwb_platform::metrics::ErrorCounter;
+use uwb_platform::report::{format_rate, Table};
+use uwb_sim::awgn::add_awgn_real;
+use uwb_sim::Rand;
+
+fn scaled(mult: f64) -> InterleaveMismatch {
+    let t = InterleaveMismatch::typical();
+    InterleaveMismatch {
+        offset_sigma: t.offset_sigma * mult,
+        gain_sigma: t.gain_sigma * mult,
+        skew_sigma_s: t.skew_sigma_s * mult,
+    }
+}
+
+fn main() {
+    println!(
+        "{}",
+        banner("A4", "interleaved-ADC mismatch severity", "§2 / Fig. 1")
+    );
+
+    // --- Converter-level SNDR ---
+    let mut t1 = Table::new(vec![
+        "mismatch (x typical)",
+        "SNDR (dB)",
+        "ENOB",
+        "SFDR (dB)",
+    ]);
+    let n = 16_384;
+    let x: Vec<f64> = (0..n)
+        .map(|i| 0.9 * (std::f64::consts::TAU * 0.0437 * i as f64).sin())
+        .collect();
+    for &mult in &[0.0f64, 0.5, 1.0, 3.0, 10.0] {
+        let mut rng = Rand::new(EXPERIMENT_SEED);
+        let adc = InterleavedAdc::gen1(4, scaled(mult), &mut rng);
+        let y = adc.convert_block(&x);
+        let r = sine_test(&y, 2e9, 8);
+        t1.row(vec![
+            format!("{mult:.1}"),
+            format!("{:.1}", r.sndr_db),
+            format!("{:.2}", r.enob),
+            format!("{:.1}", r.sfdr_db),
+        ]);
+    }
+    println!("\nconverter metrology (4-bit, 4-way, 2 GSps, full-scale sine):\n{t1}");
+
+    // --- Link-level BER at the gen1 operating point ---
+    let cfg = Gen1Config {
+        pulses_per_bit: 16, // lighter spreading to expose the ADC floor
+        ..Gen1Config::demonstrated_193kbps()
+    };
+    let tx = Gen1Transmitter::new(cfg.clone());
+    let eb = cfg.pulses_per_bit as f64;
+    let ebn0_db = 8.0;
+    let noise_p = eb / (2.0 * uwb_dsp::math::db_to_pow(ebn0_db));
+
+    let mut t2 = Table::new(vec!["mismatch (x typical)", "bits", "errors", "BER"]);
+    for &mult in &[0.0f64, 1.0, 3.0, 10.0] {
+        let rx = Gen1Receiver::new(cfg.clone(), scaled(mult), EXPERIMENT_SEED);
+        let mut counter = ErrorCounter::new();
+        let mut rng = Rand::new(EXPERIMENT_SEED ^ mult.to_bits());
+        let mut attempts = 0;
+        while counter.errors < 40 && counter.total < 4_000 && attempts < 120 {
+            attempts += 1;
+            let bits: Vec<bool> = (0..48).map(|_| rng.bit()).collect();
+            let burst = tx.transmit(&bits);
+            let noisy = add_awgn_real(&burst.samples, noise_p, &mut rng);
+            if let Some(decoded) = rx.receive(&noisy, bits.len()) {
+                counter.add_bits(&bits, &decoded.bits);
+            }
+        }
+        t2.row(vec![
+            format!("{mult:.1}"),
+            counter.total.to_string(),
+            counter.errors.to_string(),
+            format_rate(counter.errors, counter.total),
+        ]);
+    }
+    println!("gen1 link at Eb/N0 = {ebn0_db} dB, 16x spreading:\n{t2}");
+    println!(
+        "expected shape: SNDR/ENOB degrade smoothly with mismatch (offset and\n\
+         gain spurs at fs/4 multiples, skew error growing with input\n\
+         frequency); the spread-spectrum link is tolerant of typical mismatch\n\
+         (spurs land mostly out of the despreading bandwidth) and only starts\n\
+         losing bits at several times the typical values — the robustness\n\
+         that let gen1 use an aggressive interleaved converter."
+    );
+}

@@ -1,0 +1,92 @@
+//! E10 — receiver power breakdown (paper §1: "more than half of the system
+//! power being dissipated in the digital back end and the ADC").
+//!
+//! Prints the block-level breakdown for both generations and sweeps the
+//! data rate to show the fraction stays above one half.
+
+use uwb_bench::banner;
+use uwb_gen1::{Gen1Config, Gen1PowerModel};
+use uwb_phy::power::{PowerClass, PowerModel};
+use uwb_phy::Gen2Config;
+use uwb_platform::report::Table;
+
+fn print_breakdown(title: &str, bd: &uwb_phy::PowerBreakdown) {
+    let mut table = Table::new(vec!["block", "class", "mW", "% of total"]);
+    let total = bd.total_mw();
+    for b in &bd.blocks {
+        let class = match b.class {
+            PowerClass::Analog => "analog",
+            PowerClass::Adc => "ADC",
+            PowerClass::Digital => "digital",
+        };
+        table.row(vec![
+            b.name.clone(),
+            class.to_string(),
+            format!("{:.2}", b.mw),
+            format!("{:.1}", 100.0 * b.mw / total),
+        ]);
+    }
+    table.row(vec![
+        "TOTAL".to_string(),
+        String::new(),
+        format!("{total:.2}"),
+        "100.0".to_string(),
+    ]);
+    println!("\n{title}:\n{table}");
+    println!(
+        "digital back end + ADC fraction: {:.1} %  (paper: > 50 %)",
+        100.0 * bd.digital_and_adc_fraction()
+    );
+}
+
+fn main() {
+    println!(
+        "{}",
+        banner("E10", "power: back end + ADC > half of the system", "§1")
+    );
+
+    // Gen2 at the nominal 100 Mbps point.
+    let model = PowerModel::cmos180();
+    let gen2 = model.breakdown(&Gen2Config::nominal_100mbps());
+    print_breakdown("gen2 receiver @ 100 Mbps (0.18 µm model)", &gen2);
+
+    // Gen1 at the demonstrated point.
+    let gen1 = Gen1PowerModel::cmos180().breakdown(&Gen1Config::demonstrated_193kbps());
+    print_breakdown("gen1 receiver @ 193 kbps (0.18 µm model)", &gen1);
+
+    // Fraction vs data rate (spreading sweep).
+    let mut table = Table::new(vec![
+        "pulses/bit",
+        "bit rate (Mbps)",
+        "total (mW)",
+        "digital+ADC (%)",
+    ]);
+    let mut all_above_half = true;
+    for ppb in [1usize, 2, 4, 8, 16] {
+        let cfg = Gen2Config {
+            pulses_per_bit: ppb,
+            ..Gen2Config::nominal_100mbps()
+        };
+        let bd = model.breakdown(&cfg);
+        let frac = bd.digital_and_adc_fraction();
+        all_above_half &= frac > 0.5;
+        table.row(vec![
+            ppb.to_string(),
+            format!("{:.1}", cfg.bit_rate() / 1e6),
+            format!("{:.1}", bd.total_mw()),
+            format!("{:.1}", 100.0 * frac),
+        ]);
+    }
+    println!("\nfraction vs data rate (gen2):\n{table}");
+    println!(
+        "shape check (fraction > 50 % at every rate, both generations): {}",
+        if all_above_half
+            && gen2.digital_and_adc_fraction() > 0.5
+            && gen1.digital_and_adc_fraction() > 0.5
+        {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+}

@@ -1,0 +1,369 @@
+//! Complex number arithmetic for equivalent-baseband signal processing.
+//!
+//! A dependency-free `f64` complex type. Only the operations the rest of the
+//! workspace needs are implemented, but those are implemented completely:
+//! field arithmetic, conjugation, polar/rect conversion, exponentials and the
+//! usual norms.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_dsp::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.norm(), 5.0);
+/// assert_eq!(z * Complex::I, Complex::new(-4.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Complex {
+    /// Real (in-phase) component.
+    pub re: f64,
+    /// Imaginary (quadrature) component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number from polar form `r * exp(i * theta)`.
+    ///
+    /// ```
+    /// use uwb_dsp::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-12);
+    /// assert!((z.im - 2.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `exp(i * theta)`: a unit phasor at angle `theta` radians.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²` (avoids the square root of [`norm`]).
+    ///
+    /// [`norm`]: Complex::norm
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude (Euclidean norm).
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; `1/0` yields non-finite components, matching `f64`
+    /// division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^self`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Complex> for Complex {
+    fn sum<I: Iterator<Item = &'a Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, &z| acc + z)
+    }
+}
+
+/// Computes the average power (mean squared magnitude) of a complex signal.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// ```
+/// use uwb_dsp::{Complex, complex::mean_power};
+/// let sig = vec![Complex::ONE, Complex::I];
+/// assert_eq!(mean_power(&sig), 1.0);
+/// ```
+pub fn mean_power(signal: &[Complex]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    signal.iter().map(|z| z.norm_sqr()).sum::<f64>() / signal.len() as f64
+}
+
+/// Computes the average power of a real signal.
+pub fn mean_power_real(signal: &[f64]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64
+}
+
+/// Converts a real signal into a complex one with zero imaginary part.
+pub fn to_complex(signal: &[f64]) -> Vec<Complex> {
+    signal.iter().map(|&x| Complex::new(x, 0.0)).collect()
+}
+
+/// Extracts the real parts of a complex signal.
+pub fn to_real(signal: &[Complex]) -> Vec<f64> {
+    signal.iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex::ZERO + Complex::ONE, Complex::ONE);
+        assert_eq!(Complex::I * Complex::I, -Complex::ONE);
+        assert_eq!(Complex::from(2.5), Complex::new(2.5, 0.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::new(-1.0, 2.0);
+        let back = Complex::from_polar(z.norm(), z.arg());
+        assert!((z - back).norm() < EPS);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.0);
+        let b = Complex::new(-0.25, 3.0);
+        assert!(((a + b) - (b + a)).norm() < EPS);
+        assert!((a * b - b * a).norm() < EPS);
+        assert!((a * b.inv() - a / b).norm() < EPS);
+        assert!((a - a).norm() < EPS);
+        assert!(((a / b) * b - a).norm() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert!((z * z.conj()).im.abs() < EPS);
+        assert!(((z * z.conj()).re - 25.0).abs() < EPS);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let theta = 0.7;
+        let a = Complex::new(0.0, theta).exp();
+        let b = Complex::cis(theta);
+        assert!((a - b).norm() < EPS);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::ONE;
+        assert_eq!(z, Complex::new(2.0, 1.0));
+        z -= Complex::I;
+        assert_eq!(z, Complex::new(2.0, 0.0));
+        z *= Complex::I;
+        assert_eq!(z, Complex::new(0.0, 2.0));
+        z /= Complex::new(0.0, 2.0);
+        assert!((z - Complex::ONE).norm() < EPS);
+    }
+
+    #[test]
+    fn sum_iterators() {
+        let v = vec![Complex::ONE, Complex::I, Complex::new(1.0, 1.0)];
+        let s: Complex = v.iter().sum();
+        assert_eq!(s, Complex::new(2.0, 2.0));
+        let s2: Complex = v.into_iter().sum();
+        assert_eq!(s2, Complex::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn power_helpers() {
+        assert_eq!(mean_power(&[]), 0.0);
+        assert_eq!(mean_power_real(&[]), 0.0);
+        let sig = [1.0, -1.0, 1.0, -1.0];
+        assert_eq!(mean_power_real(&sig), 1.0);
+        let c = to_complex(&sig);
+        assert_eq!(mean_power(&c), 1.0);
+        assert_eq!(to_real(&c), sig.to_vec());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

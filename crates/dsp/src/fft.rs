@@ -1,0 +1,376 @@
+//! Radix-2 decimation-in-time FFT.
+//!
+//! A dependency-free iterative Cooley–Tukey implementation with precomputed
+//! twiddle factors, plus helpers for real-input transforms, zero-padded
+//! transforms of arbitrary length, and `fftshift`.
+//!
+//! The forward transform computes `X[k] = Σ x[n] e^{-i 2π nk/N}`; the inverse
+//! applies the conjugate kernel and divides by `N`, so
+//! `ifft(fft(x)) == x`.
+
+use crate::complex::Complex;
+use crate::math::next_pow2;
+
+/// Planned FFT of a fixed power-of-two size.
+///
+/// Construction precomputes the bit-reversal permutation and twiddle factors;
+/// [`Fft::forward`] and [`Fft::inverse`] then run without allocation beyond
+/// the output buffer.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_dsp::{Complex, Fft};
+///
+/// let fft = Fft::new(8);
+/// let x: Vec<Complex> = (0..8).map(|n| Complex::new(n as f64, 0.0)).collect();
+/// let spec = fft.forward(&x);
+/// let back = fft.inverse(&spec);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((*a - *b).norm() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    rev: Vec<usize>,
+    /// Twiddles for the forward transform, one per butterfly stride level.
+    twiddles: Vec<Complex>,
+}
+
+impl Fft {
+    /// Plans an FFT of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n.is_power_of_two(), "FFT size must be a power of two");
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0usize; n];
+        if bits > 0 {
+            for (i, r) in rev.iter_mut().enumerate() {
+                *r = i.reverse_bits() >> (usize::BITS - bits);
+            }
+        }
+        // Half-size table of e^{-i 2π k / n}.
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::cis(-std::f64::consts::TAU * k as f64 / n as f64))
+            .collect();
+        Fft { n, rev, twiddles }
+    }
+
+    /// The transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`: a plan has size ≥ 1.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn transform(&self, input: &[Complex], invert: bool) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n, "input length must equal FFT size");
+        let n = self.n;
+        let mut a: Vec<Complex> = (0..n).map(|i| input[self.rev[i]]).collect();
+        let mut len = 2usize;
+        while len <= n {
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let mut w = self.twiddles[k * stride];
+                    if invert {
+                        w = w.conj();
+                    }
+                    let u = a[start + k];
+                    let v = a[start + k + len / 2] * w;
+                    a[start + k] = u + v;
+                    a[start + k + len / 2] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+        if invert {
+            let inv_n = 1.0 / n as f64;
+            for z in &mut a {
+                *z = z.scale(inv_n);
+            }
+        }
+        a
+    }
+
+    /// Forward DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    pub fn forward(&self, input: &[Complex]) -> Vec<Complex> {
+        self.transform(input, false)
+    }
+
+    /// Inverse DFT (includes the `1/N` normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    pub fn inverse(&self, input: &[Complex]) -> Vec<Complex> {
+        self.transform(input, true)
+    }
+}
+
+/// One-shot forward FFT of a complex signal, zero-padded to the next power of
+/// two.
+///
+/// Returns the spectrum and the transform size actually used.
+pub fn fft_padded(signal: &[Complex]) -> (Vec<Complex>, usize) {
+    let n = next_pow2(signal.len().max(1));
+    let mut buf = signal.to_vec();
+    buf.resize(n, Complex::ZERO);
+    (Fft::new(n).forward(&buf), n)
+}
+
+/// One-shot forward FFT of a real signal, zero-padded to the next power of
+/// two. Returns the full complex spectrum.
+pub fn rfft_padded(signal: &[f64]) -> (Vec<Complex>, usize) {
+    let n = next_pow2(signal.len().max(1));
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    buf.resize(n, Complex::ZERO);
+    (Fft::new(n).forward(&buf), n)
+}
+
+/// Swaps the halves of a spectrum so that DC sits in the middle
+/// (matplotlib-style `fftshift`). For odd lengths the extra element goes to
+/// the front half, matching NumPy.
+pub fn fftshift<T: Clone>(spectrum: &[T]) -> Vec<T> {
+    let n = spectrum.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&spectrum[half..]);
+    out.extend_from_slice(&spectrum[..half]);
+    out
+}
+
+/// The frequency in hertz of FFT bin `k` for an `n`-point transform at sample
+/// rate `fs`, mapped into `(-fs/2, fs/2]`.
+pub fn bin_frequency(k: usize, n: usize, fs: f64) -> f64 {
+    let k = k % n;
+    let f = k as f64 * fs / n as f64;
+    if f > fs / 2.0 {
+        f - fs
+    } else {
+        f
+    }
+}
+
+/// Circular (cyclic) convolution of two equal-length signals via FFT.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are not a power of two.
+pub fn circular_convolve(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
+    assert_eq!(a.len(), b.len(), "circular convolution needs equal lengths");
+    let fft = Fft::new(a.len());
+    let fa = fft.forward(a);
+    let fb = fft.forward(b);
+    let prod: Vec<Complex> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+    fft.inverse(&prod)
+}
+
+/// Linear convolution of two complex signals via zero-padded FFT.
+///
+/// Output length is `a.len() + b.len() - 1` (empty if either input is empty).
+pub fn fft_convolve(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = next_pow2(out_len);
+    let fft = Fft::new(n);
+    let mut pa = a.to_vec();
+    pa.resize(n, Complex::ZERO);
+    let mut pb = b.to_vec();
+    pb.resize(n, Complex::ZERO);
+    let fa = fft.forward(&pa);
+    let fb = fft.forward(&pb);
+    let prod: Vec<Complex> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+    let mut out = fft.inverse(&prod);
+    out.truncate(out_len);
+    out
+}
+
+/// Linear convolution of two real signals via FFT.
+pub fn fft_convolve_real(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let ca: Vec<Complex> = a.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    let cb: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft_convolve(&ca, &cb).iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).norm() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dc_signal_transforms_to_impulse() {
+        let fft = Fft::new(16);
+        let x = vec![Complex::ONE; 16];
+        let spec = fft.forward(&x);
+        assert!((spec[0] - Complex::new(16.0, 0.0)).norm() < 1e-9);
+        for z in &spec[1..] {
+            assert!(z.norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat() {
+        let fft = Fft::new(8);
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        let spec = fft.forward(&x);
+        for z in &spec {
+            assert!((*z - Complex::ONE).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_correct_bin() {
+        let n = 64;
+        let fft = Fft::new(n);
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(std::f64::consts::TAU * k0 as f64 * t as f64 / n as f64))
+            .collect();
+        let spec = fft.forward(&x);
+        for (k, z) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!((z.norm() - n as f64).abs() < 1e-6);
+            } else {
+                assert!(z.norm() < 1e-6, "leak at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let n = 128;
+        let fft = Fft::new(n);
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let back = fft.inverse(&fft.forward(&x));
+        assert_close(&x, &back, 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 256;
+        let fft = Fft::new(n);
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let spec = fft.forward(&x);
+        let e_time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let e_freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() / e_time < 1e-10);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let fft = Fft::new(n);
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.5)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, -(i as f64))).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft.forward(&a);
+        let fb = fft.forward(&b);
+        let fsum = fft.forward(&sum);
+        let expect: Vec<Complex> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_close(&fsum, &expect, 1e-8);
+    }
+
+    #[test]
+    fn padded_transforms() {
+        let (spec, n) = rfft_padded(&[1.0, 1.0, 1.0]);
+        assert_eq!(n, 4);
+        assert_eq!(spec.len(), 4);
+        assert!((spec[0].re - 3.0).abs() < 1e-12);
+        let (spec_c, n_c) = fft_padded(&[Complex::ONE; 5]);
+        assert_eq!(n_c, 8);
+        assert_eq!(spec_c.len(), 8);
+    }
+
+    #[test]
+    fn fftshift_even_and_odd() {
+        assert_eq!(fftshift(&[0, 1, 2, 3]), vec![2, 3, 0, 1]);
+        assert_eq!(fftshift(&[0, 1, 2, 3, 4]), vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bin_frequency_mapping() {
+        let fs = 1000.0;
+        assert_eq!(bin_frequency(0, 8, fs), 0.0);
+        assert_eq!(bin_frequency(1, 8, fs), 125.0);
+        assert_eq!(bin_frequency(4, 8, fs), 500.0); // Nyquist maps positive
+        assert_eq!(bin_frequency(7, 8, fs), -125.0);
+    }
+
+    #[test]
+    fn convolution_matches_direct() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, -1.0];
+        let got = fft_convolve_real(&a, &b);
+        let want = [0.5, 0.0, -0.5, -3.0];
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn circular_convolution_identity() {
+        let n = 8;
+        let mut delta = vec![Complex::ZERO; n];
+        delta[0] = Complex::ONE;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -0.5)).collect();
+        let y = circular_convolve(&x, &delta);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_convolution() {
+        assert!(fft_convolve(&[], &[Complex::ONE]).is_empty());
+    }
+
+    #[test]
+    fn size_one_fft() {
+        let fft = Fft::new(1);
+        let x = [Complex::new(2.5, -1.0)];
+        assert_eq!(fft.forward(&x), x.to_vec());
+        assert_eq!(fft.inverse(&x), x.to_vec());
+        // Single-sample convolution exercises the n = 1 plan.
+        let y = fft_convolve(&[Complex::new(3.0, 0.0)], &[Complex::new(0.0, 2.0)]);
+        assert_eq!(y.len(), 1);
+        assert!((y[0] - Complex::new(0.0, 6.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_size_panics() {
+        Fft::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn wrong_input_length_panics() {
+        Fft::new(8).forward(&[Complex::ZERO; 4]);
+    }
+}

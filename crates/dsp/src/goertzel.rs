@@ -1,0 +1,182 @@
+//! Goertzel single-bin DFT.
+//!
+//! Evaluates one DFT bin in `O(N)` with two multiplies per sample — the
+//! cheap way to watch a handful of suspect frequencies (known narrowband
+//! services) instead of running a full FFT, and therefore a lower-power
+//! alternative implementation of the receiver's spectral monitor.
+
+use crate::complex::Complex;
+
+/// A Goertzel resonator for one normalized frequency (cycles/sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Goertzel {
+    freq: f64,
+    omega: f64,
+    coeff: f64,
+}
+
+impl Goertzel {
+    /// Creates a detector for normalized frequency `freq` in `[-0.5, 0.5]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq` is outside `[-0.5, 0.5]`.
+    pub fn new(freq: f64) -> Self {
+        assert!(
+            (-0.5..=0.5).contains(&freq),
+            "frequency must be in [-0.5, 0.5] cycles/sample"
+        );
+        let omega = std::f64::consts::TAU * freq;
+        Goertzel {
+            freq,
+            omega,
+            coeff: 2.0 * omega.cos(),
+        }
+    }
+
+    /// The normalized frequency this detector watches.
+    pub fn frequency(&self) -> f64 {
+        self.freq
+    }
+
+    /// Evaluates the DFT of a real block at this frequency
+    /// (`Σ x[n] e^{-i 2π f n}`).
+    pub fn dft_real(&self, block: &[f64]) -> Complex {
+        if block.is_empty() {
+            return Complex::ZERO;
+        }
+        let mut s1 = 0.0f64;
+        let mut s2 = 0.0f64;
+        for &x in block {
+            let s0 = x + self.coeff * s1 - s2;
+            s2 = s1;
+            s1 = s0;
+        }
+        // X = W^(N-1) · (s1 − W·s2), with W = e^{-iω}.
+        let w = Complex::cis(-self.omega);
+        Complex::cis(-self.omega * (block.len() as f64 - 1.0)) * (Complex::from(s1) - w * s2)
+    }
+
+    /// Evaluates the DFT of a complex block at this frequency (runs the
+    /// resonator on both rails).
+    pub fn dft(&self, block: &[Complex]) -> Complex {
+        let re: Vec<f64> = block.iter().map(|z| z.re).collect();
+        let im: Vec<f64> = block.iter().map(|z| z.im).collect();
+        let a = self.dft_real(&re);
+        let b = self.dft_real(&im);
+        a + b * Complex::I
+    }
+
+    /// Power of the block at this frequency, normalized so that a complex
+    /// exponential of amplitude `A` at exactly `freq` yields `A²`.
+    pub fn power(&self, block: &[Complex]) -> f64 {
+        if block.is_empty() {
+            return 0.0;
+        }
+        let z = self.dft(block);
+        z.norm_sqr() / (block.len() as f64 * block.len() as f64)
+    }
+}
+
+/// Scans a bank of suspect frequencies (hertz, at `fs_hz`) over a block and
+/// returns `(freq_hz, power)` pairs — the Goertzel version of the spectral
+/// monitor's sweep.
+pub fn scan_frequencies(block: &[Complex], fs_hz: f64, freqs_hz: &[f64]) -> Vec<(f64, f64)> {
+    freqs_hz
+        .iter()
+        .map(|&f| {
+            let g = Goertzel::new(f / fs_hz);
+            (f, g.power(block))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::Fft;
+
+    #[test]
+    fn matches_fft_bin() {
+        let n = 256;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let spec = Fft::new(n).forward(&x);
+        for k in [1usize, 17, 100, 200] {
+            let g = Goertzel::new(k as f64 / n as f64 - if k > n / 2 { 1.0 } else { 0.0 });
+            let z = g.dft(&x);
+            assert!(
+                (z - spec[k]).norm() < 1e-6 * (1.0 + spec[k].norm()),
+                "bin {k}: {z} vs {}",
+                spec[k]
+            );
+        }
+    }
+
+    #[test]
+    fn tone_power_calibrated() {
+        let n = 1000;
+        let f = 0.123;
+        let amp = 2.5;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_polar(amp, std::f64::consts::TAU * f * i as f64))
+            .collect();
+        let g = Goertzel::new(f);
+        let p = g.power(&x);
+        assert!((p - amp * amp).abs() / (amp * amp) < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn off_frequency_rejected() {
+        let n = 1024;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(std::f64::consts::TAU * 0.25 * i as f64))
+            .collect();
+        // Probe far from the tone (integer-bin spacing away).
+        let g = Goertzel::new(0.10);
+        assert!(g.power(&x) < 1e-4, "{}", g.power(&x));
+    }
+
+    #[test]
+    fn negative_frequency() {
+        let n = 512;
+        let f = -0.2;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(std::f64::consts::TAU * f * i as f64))
+            .collect();
+        let g = Goertzel::new(f);
+        assert!((g.power(&x) - 1.0).abs() < 1e-6);
+        let wrong = Goertzel::new(0.2);
+        assert!(wrong.power(&x) < 1e-4);
+    }
+
+    #[test]
+    fn scan_finds_the_interferer() {
+        let fs = 1e9;
+        let f0 = 150e6;
+        let n = 4096;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_polar(3.0, std::f64::consts::TAU * f0 * i as f64 / fs))
+            .collect();
+        let suspects = [-200e6, -100e6, 100e6, 150e6, 250e6];
+        let scan = scan_frequencies(&x, fs, &suspects);
+        let best = scan
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(best.0, 150e6);
+        assert!((best.1 - 9.0).abs() < 0.1, "{}", best.1);
+    }
+
+    #[test]
+    fn empty_block() {
+        assert_eq!(Goertzel::new(0.1).power(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn out_of_range_panics() {
+        Goertzel::new(0.7);
+    }
+}

@@ -1,0 +1,192 @@
+//! Parallelized correlator bank.
+//!
+//! Paper §1: "The back end requires parallelization to reduce the packet
+//! synchronization time and to process the large data rate provided by the
+//! ADC." In hardware, `P` correlators evaluate `P` candidate code phases per
+//! clock; this model computes the same outputs and *accounts for the clock
+//! cycles and multiply-accumulate operations* so acquisition-time and power
+//! numbers can be derived from it.
+
+use uwb_dsp::Complex;
+
+/// Operation accounting for a correlator-bank run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CorrelatorStats {
+    /// Candidate phases evaluated.
+    pub phases_evaluated: usize,
+    /// Hardware clock cycles consumed (`ceil(phases / parallelism)` dwells,
+    /// each lasting one template length of clocks).
+    pub clock_cycles: u64,
+    /// Real multiply-accumulate operations performed.
+    pub mac_ops: u64,
+}
+
+/// A bank of `parallelism` correlators sharing one template.
+#[derive(Debug, Clone)]
+pub struct CorrelatorBank {
+    template: Vec<Complex>,
+    parallelism: usize,
+}
+
+impl CorrelatorBank {
+    /// Creates a bank with the given template and hardware parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the template is empty or `parallelism == 0`.
+    pub fn new(template: Vec<Complex>, parallelism: usize) -> Self {
+        assert!(!template.is_empty(), "correlator template must be non-empty");
+        assert!(parallelism > 0, "parallelism must be at least 1");
+        CorrelatorBank {
+            template,
+            parallelism,
+        }
+    }
+
+    /// The template length in samples.
+    pub fn template_len(&self) -> usize {
+        self.template.len()
+    }
+
+    /// The correlation template.
+    pub fn template(&self) -> &[Complex] {
+        &self.template
+    }
+
+    /// The number of parallel correlators.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Correlates `signal` against the template at every phase in
+    /// `phases` (sample offsets into `signal`). Offsets whose window would
+    /// run past the end yield zero.
+    ///
+    /// Returns per-phase complex outputs plus the hardware cost.
+    pub fn run(&self, signal: &[Complex], phases: &[usize]) -> (Vec<Complex>, CorrelatorStats) {
+        let m = self.template.len();
+        let mut out = Vec::with_capacity(phases.len());
+        for &p in phases {
+            if p + m > signal.len() {
+                out.push(Complex::ZERO);
+                continue;
+            }
+            let mut acc = Complex::ZERO;
+            for (j, &t) in self.template.iter().enumerate() {
+                acc += signal[p + j] * t.conj();
+            }
+            out.push(acc);
+        }
+        let dwells = phases.len().div_ceil(self.parallelism);
+        let stats = CorrelatorStats {
+            phases_evaluated: phases.len(),
+            clock_cycles: dwells as u64 * m as u64,
+            // Complex × conj(complex) = 4 real MACs per sample.
+            mac_ops: phases.len() as u64 * m as u64 * 4,
+        };
+        (out, stats)
+    }
+
+    /// Correlates every phase in `0..signal.len() − template_len + 1`
+    /// (a full sliding search).
+    pub fn run_full(&self, signal: &[Complex]) -> (Vec<Complex>, CorrelatorStats) {
+        let n = signal.len().saturating_sub(self.template.len()) + 1;
+        let phases: Vec<usize> = (0..n).collect();
+        self.run(signal, &phases)
+    }
+
+    /// Time in microseconds the search takes on hardware clocked at
+    /// `clock_hz`, given the stats of a run.
+    pub fn search_time_us(stats: &CorrelatorStats, clock_hz: f64) -> f64 {
+        stats.clock_cycles as f64 / clock_hz * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template(n: usize) -> Vec<Complex> {
+        (0..n).map(|i| Complex::cis(0.2 * i as f64)).collect()
+    }
+
+    #[test]
+    fn outputs_match_direct_correlation() {
+        let tpl = template(16);
+        let mut sig = vec![Complex::ZERO; 100];
+        for (i, &t) in tpl.iter().enumerate() {
+            sig[40 + i] = t;
+        }
+        let bank = CorrelatorBank::new(tpl.clone(), 4);
+        let (out, _) = bank.run_full(&sig);
+        let direct = uwb_dsp::correlation::cross_correlate(&sig, &tpl);
+        assert_eq!(out.len(), direct.len());
+        for (a, b) in out.iter().zip(&direct) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn peak_found_at_embedded_phase() {
+        let tpl = template(32);
+        let mut sig = vec![Complex::ZERO; 300];
+        for (i, &t) in tpl.iter().enumerate() {
+            sig[123 + i] = t;
+        }
+        let bank = CorrelatorBank::new(tpl, 8);
+        let (out, _) = bank.run_full(&sig);
+        let mags: Vec<f64> = out.iter().map(|z| z.norm()).collect();
+        assert_eq!(uwb_dsp::math::argmax(&mags), Some(123));
+    }
+
+    #[test]
+    fn clock_cycles_scale_inversely_with_parallelism() {
+        let tpl = template(64);
+        let sig = vec![Complex::ONE; 1000];
+        let phases: Vec<usize> = (0..512).collect();
+        let serial = CorrelatorBank::new(tpl.clone(), 1);
+        let parallel = CorrelatorBank::new(tpl, 32);
+        let (_, s1) = serial.run(&sig, &phases);
+        let (_, s32) = parallel.run(&sig, &phases);
+        assert_eq!(s1.clock_cycles, 512 * 64);
+        assert_eq!(s32.clock_cycles, 16 * 64);
+        assert_eq!(s1.clock_cycles / s32.clock_cycles, 32);
+        // Total MAC work is the same — parallel hardware, same energy.
+        assert_eq!(s1.mac_ops, s32.mac_ops);
+    }
+
+    #[test]
+    fn out_of_range_phase_yields_zero() {
+        let tpl = template(10);
+        let sig = vec![Complex::ONE; 12];
+        let bank = CorrelatorBank::new(tpl, 1);
+        let (out, _) = bank.run(&sig, &[0, 2, 5]);
+        assert!(out[0].norm() > 0.0);
+        assert!(out[1].norm() > 0.0);
+        assert_eq!(out[2], Complex::ZERO); // 5 + 10 > 12
+    }
+
+    #[test]
+    fn search_time_formula() {
+        let stats = CorrelatorStats {
+            phases_evaluated: 1000,
+            clock_cycles: 500_000,
+            mac_ops: 0,
+        };
+        // 500k cycles at 500 MHz = 1000 us.
+        let t = CorrelatorBank::search_time_us(&stats, 500e6);
+        assert!((t - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_template_panics() {
+        CorrelatorBank::new(Vec::new(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_panics() {
+        CorrelatorBank::new(template(4), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! CRC generators for header and payload protection.
+
+/// CRC-16/CCITT-FALSE: polynomial `0x1021`, init `0xFFFF`, no reflection.
+/// Used for the packet header.
+///
+/// ```
+/// use uwb_phy::crc::crc16_ccitt;
+/// // The classic check value for "123456789".
+/// assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+/// ```
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/final `0xFFFFFFFF`). Used for the
+/// payload frame check sequence.
+///
+/// ```
+/// use uwb_phy::crc::crc32_ieee;
+/// assert_eq!(crc32_ieee(b"123456789"), 0xCBF43926);
+/// ```
+pub fn crc32_ieee(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0xEDB8_8320;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    !crc
+}
+
+/// CRC-8 (poly `0x07`, init `0x00`) for the short header rate field.
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc: u8 = 0;
+    for &byte in data {
+        crc ^= byte;
+        for _ in 0..8 {
+            if crc & 0x80 != 0 {
+                crc = (crc << 1) ^ 0x07;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_check_value() {
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+        assert_eq!(crc16_ccitt(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        assert_eq!(crc32_ieee(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32_ieee(b""), 0x0000_0000);
+    }
+
+    #[test]
+    fn crc8_check_value() {
+        assert_eq!(crc8(b"123456789"), 0xF4);
+        assert_eq!(crc8(b""), 0x00);
+    }
+
+    #[test]
+    fn single_bit_error_detected() {
+        let data = b"ultra wideband pulsed transceiver".to_vec();
+        let c = crc32_ieee(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32_ieee(&corrupted), c, "missed error at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc16_detects_swaps() {
+        let a = crc16_ccitt(b"AB");
+        let b = crc16_ccitt(b"BA");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = b"determinism";
+        assert_eq!(crc32_ieee(d), crc32_ieee(d));
+        assert_eq!(crc16_ccitt(d), crc16_ccitt(d));
+        assert_eq!(crc8(d), crc8(d));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the PHY crate.
+
+use std::fmt;
+
+/// Errors produced by PHY configuration and packet processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PhyError {
+    /// A configuration parameter is out of its valid range.
+    InvalidConfig(String),
+    /// The requested channel index does not exist in the band plan.
+    InvalidChannel(usize),
+    /// Packet payload exceeds the maximum frame size.
+    PayloadTooLarge {
+        /// Bytes requested.
+        requested: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// Packet synchronization failed (no preamble found).
+    SyncFailed,
+    /// The header failed its CRC or could not be decoded.
+    HeaderInvalid,
+    /// The payload CRC check failed after demodulation.
+    CrcMismatch,
+    /// The sample record ended before the expected packet did.
+    TruncatedInput,
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PhyError::InvalidChannel(idx) => {
+                write!(f, "channel index {idx} outside the 14-channel band plan")
+            }
+            PhyError::PayloadTooLarge { requested, max } => {
+                write!(f, "payload of {requested} bytes exceeds maximum {max}")
+            }
+            PhyError::SyncFailed => write!(f, "packet synchronization failed"),
+            PhyError::HeaderInvalid => write!(f, "header failed validation"),
+            PhyError::CrcMismatch => write!(f, "payload crc mismatch"),
+            PhyError::TruncatedInput => write!(f, "sample record ended mid-packet"),
+        }
+    }
+}
+
+impl std::error::Error for PhyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PhyError::SyncFailed.to_string().contains("synchronization"));
+        assert!(PhyError::InvalidChannel(20).to_string().contains("20"));
+        let e = PhyError::PayloadTooLarge {
+            requested: 5000,
+            max: 4095,
+        };
+        assert!(e.to_string().contains("5000"));
+    }
+
+    #[test]
+    fn is_error_trait() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<PhyError>();
+    }
+}

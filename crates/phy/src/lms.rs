@@ -1,0 +1,270 @@
+//! Adaptive linear (LMS) equalization.
+//!
+//! The paper's back end is "programmable": the Viterbi (MLSE) demodulator is
+//! the optimal ISI equalizer but its state count is exponential in the
+//! channel memory. A linear transversal equalizer trained by LMS is the
+//! cheap alternative — this module provides it both as a library feature and
+//! as the ablation baseline the MLSE is judged against.
+
+use uwb_dsp::Complex;
+
+/// A complex transversal equalizer adapted by (normalized) LMS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmsEqualizer {
+    weights: Vec<Complex>,
+    /// Index of the reference (cursor) tap.
+    cursor: usize,
+    /// LMS step size (normalized by input power per update).
+    mu: f64,
+    history: Vec<Complex>,
+}
+
+impl LmsEqualizer {
+    /// Creates an equalizer with `n_taps` taps, the cursor at `cursor`, and
+    /// step size `mu`. Weights start as a unit spike at the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_taps == 0`, `cursor >= n_taps`, or `mu` is not in
+    /// `(0, 1]`.
+    pub fn new(n_taps: usize, cursor: usize, mu: f64) -> Self {
+        assert!(n_taps > 0, "need at least one tap");
+        assert!(cursor < n_taps, "cursor must index a tap");
+        assert!(mu > 0.0 && mu <= 1.0, "mu must be in (0, 1]");
+        let mut weights = vec![Complex::ZERO; n_taps];
+        weights[cursor] = Complex::ONE;
+        LmsEqualizer {
+            weights,
+            cursor,
+            mu,
+            history: vec![Complex::ZERO; n_taps],
+        }
+    }
+
+    /// The current weights.
+    pub fn weights(&self) -> &[Complex] {
+        &self.weights
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Always `false`; construction requires at least one tap.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn push_and_filter(&mut self, x: Complex) -> Complex {
+        self.history.rotate_right(1);
+        self.history[0] = x;
+        self.history
+            .iter()
+            .zip(&self.weights)
+            .map(|(&h, &w)| h * w)
+            .sum()
+    }
+
+    fn adapt(&mut self, error: Complex) {
+        let power: f64 = self.history.iter().map(|h| h.norm_sqr()).sum::<f64>() + 1e-12;
+        let k = self.mu / power;
+        for (w, &h) in self.weights.iter_mut().zip(&self.history) {
+            *w += h.conj() * (error * k);
+        }
+    }
+
+    /// Trains on a known symbol sequence (e.g. the preamble): feeds
+    /// `received` and adapts toward `reference`. Symbols before the cursor
+    /// fill the delay line; `reference[k]` is compared against the output
+    /// when `received[k + cursor]` enters (standard cursor alignment —
+    /// caller should therefore pass `received` with `cursor` leading
+    /// samples of context, or accept the first `cursor` symbols being
+    /// trained on zero context). Returns the mean squared error over the
+    /// pass.
+    pub fn train(&mut self, received: &[Complex], reference: &[Complex]) -> f64 {
+        let n = received.len().min(reference.len());
+        let mut mse = 0.0;
+        for k in 0..n {
+            let y = self.push_and_filter(received[k]);
+            let e = reference[k] - y;
+            self.adapt(e);
+            mse += e.norm_sqr();
+        }
+        if n > 0 {
+            mse / n as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Equalizes a block without adaptation (frozen weights).
+    pub fn equalize(&mut self, received: &[Complex]) -> Vec<Complex> {
+        received.iter().map(|&x| self.push_and_filter(x)).collect()
+    }
+
+    /// Decision-directed equalization for BPSK: equalizes, slices, and keeps
+    /// adapting against its own decisions.
+    pub fn equalize_decision_directed(&mut self, received: &[Complex]) -> Vec<Complex> {
+        received
+            .iter()
+            .map(|&x| {
+                let y = self.push_and_filter(x);
+                let decision = Complex::new(if y.re >= 0.0 { 1.0 } else { -1.0 }, 0.0);
+                self.adapt(decision - y);
+                y
+            })
+            .collect()
+    }
+
+    /// Clears the delay line (weights kept).
+    pub fn reset_history(&mut self) {
+        self.history.iter_mut().for_each(|h| *h = Complex::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlse::{apply_symbol_channel, MlseEqualizer};
+    use uwb_sim::awgn::add_awgn_complex;
+    use uwb_sim::Rand;
+
+    fn random_symbols(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = Rand::new(seed);
+        (0..n).map(|_| rng.bit()).collect()
+    }
+
+    fn to_complex(symbols: &[bool]) -> Vec<Complex> {
+        symbols
+            .iter()
+            .map(|&b| Complex::new(if b { 1.0 } else { -1.0 }, 0.0))
+            .collect()
+    }
+
+    fn mild_channel() -> Vec<Complex> {
+        vec![Complex::new(1.0, 0.0), Complex::new(0.4, 0.1)]
+    }
+
+    #[test]
+    fn training_reduces_mse() {
+        let h = mild_channel();
+        let symbols = random_symbols(2000, 1);
+        let rx = apply_symbol_channel(&symbols, &h);
+        let reference = to_complex(&symbols);
+        let mut eq = LmsEqualizer::new(9, 4, 0.2);
+        // cursor delay: output lags reference by `cursor`; shift reference.
+        let mut shifted = vec![Complex::ZERO; 4];
+        shifted.extend_from_slice(&reference);
+        let early = eq.train(&rx[..200], &shifted[..200]);
+        let late = eq.train(&rx[1000..2000], &shifted[1000..2000]);
+        assert!(late < early / 2.0, "early {early} late {late}");
+        assert!(late < 0.1, "late MSE {late}");
+    }
+
+    #[test]
+    fn equalized_decisions_are_correct() {
+        let h = mild_channel();
+        let symbols = random_symbols(3000, 2);
+        let rx = apply_symbol_channel(&symbols, &h);
+        let reference = to_complex(&symbols);
+        let mut eq = LmsEqualizer::new(9, 4, 0.2);
+        let mut shifted = vec![Complex::ZERO; 4];
+        shifted.extend_from_slice(&reference);
+        eq.train(&rx[..1500], &shifted[..1500]);
+        eq.reset_history();
+        let out = eq.equalize(&rx[1500..]);
+        // Decisions (accounting for the cursor delay) match the symbols.
+        let mut errs = 0;
+        for (k, y) in out.iter().enumerate().skip(8) {
+            let sym_idx = 1500 + k - 4;
+            if sym_idx < symbols.len() {
+                let decided = y.re > 0.0;
+                if decided != symbols[sym_idx] {
+                    errs += 1;
+                }
+            }
+        }
+        assert_eq!(errs, 0, "residual decision errors after training");
+    }
+
+    #[test]
+    fn decision_directed_tracks_after_training() {
+        let h = mild_channel();
+        let symbols = random_symbols(3000, 3);
+        let rx = apply_symbol_channel(&symbols, &h);
+        let reference = to_complex(&symbols);
+        let mut eq = LmsEqualizer::new(9, 4, 0.1);
+        let mut shifted = vec![Complex::ZERO; 4];
+        shifted.extend_from_slice(&reference);
+        eq.train(&rx[..1000], &shifted[..1000]);
+        let out = eq.equalize_decision_directed(&rx[1000..]);
+        let mut errs = 0;
+        for (k, y) in out.iter().enumerate().skip(8) {
+            let sym_idx = 1000 + k - 4;
+            if sym_idx < symbols.len() && (y.re > 0.0) != symbols[sym_idx] {
+                errs += 1;
+            }
+        }
+        assert!(errs <= 2, "{errs} errors in decision-directed mode");
+    }
+
+    #[test]
+    fn mlse_beats_lms_on_severe_isi() {
+        // Deep ISI with a spectral null: linear equalization enhances noise,
+        // MLSE does not — the reason the paper carries a Viterbi demodulator.
+        let h = vec![
+            Complex::new(1.0, 0.0),
+            Complex::new(0.9, 0.0),
+            Complex::new(-0.4, 0.0),
+        ];
+        let symbols = random_symbols(4000, 4);
+        let rx = apply_symbol_channel(&symbols, &h);
+        let mut rng = Rand::new(5);
+        let noisy = add_awgn_complex(&rx, 0.2, &mut rng);
+        let reference = to_complex(&symbols);
+
+        // LMS path.
+        let mut eq = LmsEqualizer::new(13, 6, 0.1);
+        let mut shifted = vec![Complex::ZERO; 6];
+        shifted.extend_from_slice(&reference);
+        eq.train(&noisy[..2000], &shifted[..2000]);
+        let out = eq.equalize(&noisy[2000..]);
+        let mut lms_errs = 0usize;
+        let mut counted = 0usize;
+        for (k, y) in out.iter().enumerate().skip(12) {
+            let sym_idx = 2000 + k - 6;
+            if sym_idx < symbols.len() {
+                counted += 1;
+                if (y.re > 0.0) != symbols[sym_idx] {
+                    lms_errs += 1;
+                }
+            }
+        }
+
+        // MLSE path over the same tail.
+        let mlse = MlseEqualizer::new(h.clone());
+        let decided = mlse.equalize(&noisy);
+        let mlse_errs = decided[2000 + 6..2000 + 6 + counted]
+            .iter()
+            .zip(&symbols[2000 + 6..2000 + 6 + counted])
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(
+            mlse_errs < lms_errs,
+            "MLSE {mlse_errs} vs LMS {lms_errs} over {counted}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cursor")]
+    fn bad_cursor_panics() {
+        LmsEqualizer::new(4, 4, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu")]
+    fn bad_mu_panics() {
+        LmsEqualizer::new(4, 0, 0.0);
+    }
+}

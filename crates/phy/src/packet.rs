@@ -1,0 +1,525 @@
+//! Packet framing: preamble, SFD, header, payload.
+//!
+//! Frame layout (in pulse slots):
+//!
+//! ```text
+//! | preamble (m-seq × repeats) | SFD (Barker-13) | header | payload |
+//! ```
+//!
+//! The preamble drives acquisition and channel estimation; the SFD marks the
+//! end of the preamble; the header (32 bits, BPSK, CRC-8) carries the payload
+//! length and mode flags; the payload is scrambled, optionally FEC-encoded,
+//! and modulated per the link configuration. A CRC-32 FCS protects the
+//! payload.
+
+use crate::config::Gen2Config;
+use crate::crc::{crc32_ieee, crc8};
+use crate::error::PhyError;
+use crate::fec::{bits_to_bytes, bytes_to_bits};
+use crate::modulation::Modulation;
+use crate::pn::{barker13, msequence_chips};
+use crate::scrambler::Scrambler;
+use uwb_dsp::Complex;
+
+/// Maximum payload size in bytes (12-bit length field).
+pub const MAX_PAYLOAD: usize = 4095;
+
+/// Decoded header contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Header {
+    /// Payload length in bytes (before FEC, excluding the CRC-32).
+    pub payload_len: usize,
+    /// Modulation announced for the payload.
+    pub modulation: Modulation,
+    /// Whether the payload is convolutionally encoded.
+    pub fec: bool,
+}
+
+impl Header {
+    /// Serializes to the 4-byte over-the-air form.
+    pub fn to_bytes(self) -> [u8; 4] {
+        let mode = match self.modulation {
+            Modulation::Bpsk => 0u8,
+            Modulation::Ook => 1,
+            Modulation::Ppm2 => 2,
+            Modulation::Pam4 => 3,
+        };
+        let flags = mode | ((self.fec as u8) << 2);
+        let b0 = (self.payload_len >> 8) as u8 & 0x0F;
+        let b1 = (self.payload_len & 0xFF) as u8;
+        let mut out = [b0, b1, flags, 0];
+        out[3] = crc8(&out[..3]);
+        out
+    }
+
+    /// Parses and validates the 4-byte header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::HeaderInvalid`] on CRC failure.
+    pub fn from_bytes(bytes: &[u8; 4]) -> Result<Header, PhyError> {
+        if crc8(&bytes[..3]) != bytes[3] {
+            return Err(PhyError::HeaderInvalid);
+        }
+        let payload_len = ((bytes[0] as usize & 0x0F) << 8) | bytes[1] as usize;
+        let modulation = match bytes[2] & 0x03 {
+            0 => Modulation::Bpsk,
+            1 => Modulation::Ook,
+            2 => Modulation::Ppm2,
+            _ => Modulation::Pam4,
+        };
+        let fec = bytes[2] & 0x04 != 0;
+        Ok(Header {
+            payload_len,
+            modulation,
+            fec,
+        })
+    }
+}
+
+/// The slot-amplitude representation of a frame (one amplitude per pulse
+/// slot, before pulse shaping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSlots {
+    /// Preamble chip amplitudes (±1).
+    pub preamble: Vec<f64>,
+    /// SFD chip amplitudes (±1).
+    pub sfd: Vec<f64>,
+    /// Header slot amplitudes (BPSK, spread).
+    pub header: Vec<f64>,
+    /// Payload slot amplitudes (per configured modulation, spread).
+    pub payload: Vec<f64>,
+}
+
+impl FrameSlots {
+    /// All slots concatenated in transmission order.
+    pub fn concat(&self) -> Vec<f64> {
+        let mut v =
+            Vec::with_capacity(self.preamble.len() + self.sfd.len() + self.header.len()
+                + self.payload.len());
+        v.extend_from_slice(&self.preamble);
+        v.extend_from_slice(&self.sfd);
+        v.extend_from_slice(&self.header);
+        v.extend_from_slice(&self.payload);
+        v
+    }
+
+    /// Slot index where the header begins (after preamble + SFD).
+    pub fn header_start(&self) -> usize {
+        self.preamble.len() + self.sfd.len()
+    }
+
+    /// Slot index where the payload begins.
+    pub fn payload_start(&self) -> usize {
+        self.header_start() + self.header.len()
+    }
+}
+
+/// Spreads per-symbol slot amplitudes over `ppb` repetitions.
+fn spread(symbol_slots: &[f64], ppb: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(symbol_slots.len() * ppb);
+    for _ in 0..ppb {
+        out.extend_from_slice(symbol_slots);
+    }
+    out
+}
+
+/// Maps a bit stream to spread slot amplitudes under `modulation`.
+fn bits_to_slots(bits: &[bool], modulation: Modulation, ppb: usize) -> Vec<f64> {
+    let bps = modulation.bits_per_symbol();
+    let mut out = Vec::new();
+    let mut idx = 0;
+    while idx < bits.len() {
+        let mut symbol_bits = Vec::with_capacity(bps);
+        for k in 0..bps {
+            symbol_bits.push(*bits.get(idx + k).unwrap_or(&false)); // zero-pad
+        }
+        let amps = modulation.map(&symbol_bits);
+        out.extend(spread(&amps, ppb));
+        idx += bps;
+    }
+    out
+}
+
+/// Builds the slot-amplitude frame for a payload.
+///
+/// # Errors
+///
+/// Returns [`PhyError::PayloadTooLarge`] if the payload exceeds
+/// [`MAX_PAYLOAD`].
+pub fn build_frame(payload: &[u8], config: &Gen2Config) -> Result<FrameSlots, PhyError> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(PhyError::PayloadTooLarge {
+            requested: payload.len(),
+            max: MAX_PAYLOAD,
+        });
+    }
+    let ppb = config.pulses_per_bit;
+
+    // Preamble + SFD.
+    let one_period = msequence_chips(config.preamble_degree);
+    let mut preamble = Vec::with_capacity(one_period.len() * config.preamble_repeats);
+    for _ in 0..config.preamble_repeats {
+        preamble.extend_from_slice(&one_period);
+    }
+    let sfd = barker13();
+
+    // Header: always BPSK with the same spreading.
+    let header = Header {
+        payload_len: payload.len(),
+        modulation: config.modulation,
+        fec: config.fec.is_some(),
+    };
+    let header_bits = bytes_to_bits(&header.to_bytes());
+    let header_slots = bits_to_slots(&header_bits, Modulation::Bpsk, ppb);
+
+    // Payload: scramble(payload || crc32) -> optional FEC -> modulate.
+    let mut body = payload.to_vec();
+    let fcs = crc32_ieee(payload);
+    body.extend_from_slice(&fcs.to_be_bytes());
+    let mut scrambler = Scrambler::default();
+    scrambler.apply_bytes(&mut body);
+    let mut bits = bytes_to_bits(&body);
+    if let Some(code) = config.fec {
+        bits = code.encode(&bits);
+    }
+    let payload_slots = bits_to_slots(&bits, config.modulation, ppb);
+
+    Ok(FrameSlots {
+        preamble,
+        sfd,
+        header: header_slots,
+        payload: payload_slots,
+    })
+}
+
+/// Number of payload slots for a given payload length under `config`.
+pub fn payload_slot_count(payload_len: usize, config: &Gen2Config) -> usize {
+    let raw_bits = 8 * (payload_len + 4); // + CRC-32
+    let coded_bits = match config.fec {
+        Some(code) => 2 * (raw_bits + code.constraint_length as usize - 1),
+        None => raw_bits,
+    };
+    let bps = config.modulation.bits_per_symbol();
+    let symbols = coded_bits.div_ceil(bps);
+    symbols * config.modulation.slots_per_symbol() * config.pulses_per_bit
+}
+
+/// Number of header slots under `config`.
+pub fn header_slot_count(config: &Gen2Config) -> usize {
+    32 * config.pulses_per_bit
+}
+
+/// Combines spread repetitions and demaps a slot-statistic stream back to
+/// soft bit metrics. Inverse of [`bits_to_slots`]'s layout.
+fn slots_to_soft(
+    stats: &[Complex],
+    modulation: Modulation,
+    ppb: usize,
+) -> (Vec<bool>, Vec<f64>) {
+    let sps = modulation.slots_per_symbol();
+    let group = sps * ppb;
+    let mut bits = Vec::new();
+    let mut soft = Vec::new();
+    for chunk in stats.chunks_exact(group) {
+        // Sum repetitions: repetition r's slot s is chunk[r * sps + s].
+        let combined: Vec<Complex> = (0..sps)
+            .map(|s| (0..ppb).map(|r| chunk[r * sps + s]).sum::<Complex>() / ppb as f64)
+            .collect();
+        let (b, s) = modulation.demap(&combined);
+        bits.extend(b);
+        soft.extend(s);
+    }
+    (bits, soft)
+}
+
+/// Decodes header slot statistics.
+///
+/// # Errors
+///
+/// Returns [`PhyError::HeaderInvalid`] on CRC failure or short input.
+pub fn decode_header(stats: &[Complex], config: &Gen2Config) -> Result<Header, PhyError> {
+    if stats.len() < header_slot_count(config) {
+        return Err(PhyError::TruncatedInput);
+    }
+    let (bits, _) = slots_to_soft(
+        &stats[..header_slot_count(config)],
+        Modulation::Bpsk,
+        config.pulses_per_bit,
+    );
+    let bytes = bits_to_bytes(&bits);
+    let arr: [u8; 4] = bytes[..4].try_into().map_err(|_| PhyError::HeaderInvalid)?;
+    Header::from_bytes(&arr)
+}
+
+/// Decodes payload slot statistics down to the descrambled information bits
+/// (payload plus CRC-32, `8·(payload_len + 4)` bits) *without* CRC gating —
+/// the raw-BER measurement path.
+///
+/// # Errors
+///
+/// Returns [`PhyError::TruncatedInput`] if fewer slots than the length
+/// implies are provided.
+pub fn decode_payload_bits(
+    stats: &[Complex],
+    payload_len: usize,
+    config: &Gen2Config,
+) -> Result<Vec<bool>, PhyError> {
+    let needed = payload_slot_count(payload_len, config);
+    if stats.len() < needed {
+        return Err(PhyError::TruncatedInput);
+    }
+    let (hard, soft) = slots_to_soft(&stats[..needed], config.modulation, config.pulses_per_bit);
+    let raw_bits = 8 * (payload_len + 4);
+    let mut bits = match config.fec {
+        Some(code) => {
+            let coded_len = 2 * (raw_bits + code.constraint_length as usize - 1);
+            code.decode_soft(&soft[..coded_len])
+        }
+        None => hard,
+    };
+    bits.truncate(raw_bits);
+    let mut scrambler = Scrambler::default();
+    scrambler.apply_bits(&mut bits);
+    Ok(bits)
+}
+
+/// The ground-truth descrambled bit stream for a payload (payload plus
+/// CRC-32), to compare against [`decode_payload_bits`] output when counting
+/// bit errors.
+pub fn reference_payload_bits(payload: &[u8]) -> Vec<bool> {
+    let mut body = payload.to_vec();
+    body.extend_from_slice(&crc32_ieee(payload).to_be_bytes());
+    bytes_to_bits(&body)
+}
+
+/// Decodes payload slot statistics into the payload bytes, verifying the
+/// CRC-32.
+///
+/// # Errors
+///
+/// * [`PhyError::TruncatedInput`] — fewer slots than the length implies.
+/// * [`PhyError::CrcMismatch`] — the frame check sequence failed.
+pub fn decode_payload(
+    stats: &[Complex],
+    payload_len: usize,
+    config: &Gen2Config,
+) -> Result<Vec<u8>, PhyError> {
+    let needed = payload_slot_count(payload_len, config);
+    if stats.len() < needed {
+        return Err(PhyError::TruncatedInput);
+    }
+    let (hard, soft) = slots_to_soft(&stats[..needed], config.modulation, config.pulses_per_bit);
+    let raw_bits = 8 * (payload_len + 4);
+    let mut bits = match config.fec {
+        Some(code) => {
+            let coded_len = 2 * (raw_bits + code.constraint_length as usize - 1);
+            code.decode_soft(&soft[..coded_len])
+        }
+        None => hard,
+    };
+    bits.truncate(raw_bits);
+    let mut body = bits_to_bytes(&bits);
+    let mut scrambler = Scrambler::default();
+    scrambler.apply_bytes(&mut body);
+    let payload = body[..payload_len].to_vec();
+    let fcs = u32::from_be_bytes(body[payload_len..payload_len + 4].try_into().unwrap());
+    if crc32_ieee(&payload) != fcs {
+        return Err(PhyError::CrcMismatch);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fec::ConvCode;
+
+    fn cfg() -> Gen2Config {
+        Gen2Config::nominal_100mbps()
+    }
+
+    fn to_stats(slots: &[f64]) -> Vec<Complex> {
+        slots.iter().map(|&a| Complex::new(a, 0.0)).collect()
+    }
+
+    #[test]
+    fn header_byte_round_trip() {
+        for modulation in Modulation::all() {
+            for fec in [false, true] {
+                let h = Header {
+                    payload_len: 1234,
+                    modulation,
+                    fec,
+                };
+                let parsed = Header::from_bytes(&h.to_bytes()).unwrap();
+                assert_eq!(parsed, h);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_header_rejected() {
+        let h = Header {
+            payload_len: 100,
+            modulation: Modulation::Bpsk,
+            fec: false,
+        };
+        let mut b = h.to_bytes();
+        b[1] ^= 0x10;
+        assert_eq!(Header::from_bytes(&b), Err(PhyError::HeaderInvalid));
+    }
+
+    #[test]
+    fn frame_structure_lengths() {
+        let config = cfg();
+        let payload = vec![0x42u8; 100];
+        let frame = build_frame(&payload, &config).unwrap();
+        assert_eq!(frame.preamble.len(), 127 * 4);
+        assert_eq!(frame.sfd.len(), 13);
+        assert_eq!(frame.header.len(), header_slot_count(&config));
+        assert_eq!(
+            frame.payload.len(),
+            payload_slot_count(payload.len(), &config)
+        );
+        assert_eq!(frame.header_start(), 127 * 4 + 13);
+        assert_eq!(
+            frame.concat().len(),
+            frame.payload_start() + frame.payload.len()
+        );
+    }
+
+    #[test]
+    fn clean_round_trip_uncoded_bpsk() {
+        let config = cfg();
+        let payload: Vec<u8> = (0..=200).map(|i| (i * 7) as u8).collect();
+        let frame = build_frame(&payload, &config).unwrap();
+        let header = decode_header(&to_stats(&frame.header), &config).unwrap();
+        assert_eq!(header.payload_len, payload.len());
+        let decoded = decode_payload(&to_stats(&frame.payload), payload.len(), &config).unwrap();
+        assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn clean_round_trip_all_modulations() {
+        for modulation in Modulation::all() {
+            let mut config = cfg();
+            config.modulation = modulation;
+            let payload = b"pulsed ultra-wideband".to_vec();
+            let frame = build_frame(&payload, &config).unwrap();
+            let decoded =
+                decode_payload(&to_stats(&frame.payload), payload.len(), &config).unwrap();
+            assert_eq!(decoded, payload, "{modulation}");
+        }
+    }
+
+    #[test]
+    fn clean_round_trip_with_fec_and_spreading() {
+        let mut config = cfg();
+        config.fec = Some(ConvCode::k3());
+        config.pulses_per_bit = 3;
+        let payload = vec![0xA5u8; 64];
+        let frame = build_frame(&payload, &config).unwrap();
+        let decoded = decode_payload(&to_stats(&frame.payload), payload.len(), &config).unwrap();
+        assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn fec_heals_slot_errors() {
+        let mut config = cfg();
+        config.fec = Some(ConvCode::k7());
+        let payload = vec![0x3Cu8; 32];
+        let frame = build_frame(&payload, &config).unwrap();
+        let mut stats = to_stats(&frame.payload);
+        // Flip several well-separated slots.
+        for idx in [5, 50, 100, 200, 300] {
+            stats[idx] = -stats[idx];
+        }
+        let decoded = decode_payload(&stats, payload.len(), &config).unwrap();
+        assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn crc_catches_uncoded_errors() {
+        let config = cfg();
+        let payload = vec![0u8; 16];
+        let frame = build_frame(&payload, &config).unwrap();
+        let mut stats = to_stats(&frame.payload);
+        stats[10] = -stats[10];
+        assert_eq!(
+            decode_payload(&stats, payload.len(), &config),
+            Err(PhyError::CrcMismatch)
+        );
+    }
+
+    #[test]
+    fn truncated_input_detected() {
+        let config = cfg();
+        let payload = vec![1u8; 50];
+        let frame = build_frame(&payload, &config).unwrap();
+        let stats = to_stats(&frame.payload[..10]);
+        assert_eq!(
+            decode_payload(&stats, payload.len(), &config),
+            Err(PhyError::TruncatedInput)
+        );
+        assert_eq!(
+            decode_header(&to_stats(&[1.0; 3]), &config),
+            Err(PhyError::TruncatedInput)
+        );
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let config = cfg();
+        let payload = vec![0u8; MAX_PAYLOAD + 1];
+        assert!(matches!(
+            build_frame(&payload, &config),
+            Err(PhyError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn spreading_gain_combines() {
+        // With ppb=4, a single corrupted repetition must not flip the bit.
+        let mut config = cfg();
+        config.pulses_per_bit = 4;
+        let payload = vec![0xF0u8; 8];
+        let frame = build_frame(&payload, &config).unwrap();
+        let mut stats = to_stats(&frame.payload);
+        // Corrupt every 4th slot (one repetition of each bit).
+        for i in (0..stats.len()).step_by(4) {
+            stats[i] = -stats[i];
+        }
+        let decoded = decode_payload(&stats, payload.len(), &config).unwrap();
+        assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn payload_bits_path_matches_reference() {
+        let config = cfg();
+        let payload = b"raw ber measurement path".to_vec();
+        let frame = build_frame(&payload, &config).unwrap();
+        let bits = decode_payload_bits(&to_stats(&frame.payload), payload.len(), &config).unwrap();
+        assert_eq!(bits, reference_payload_bits(&payload));
+        // A flipped slot produces exactly one bit error (uncoded BPSK).
+        let mut stats = to_stats(&frame.payload);
+        stats[7] = -stats[7];
+        let noisy_bits =
+            decode_payload_bits(&stats, payload.len(), &config).unwrap();
+        let diff = noisy_bits
+            .iter()
+            .zip(reference_payload_bits(&payload))
+            .filter(|(a, b)| **a != *b)
+            .count();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let config = cfg();
+        let frame = build_frame(&[], &config).unwrap();
+        let decoded = decode_payload(&to_stats(&frame.payload), 0, &config).unwrap();
+        assert!(decoded.is_empty());
+    }
+}

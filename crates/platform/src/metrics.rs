@@ -1,0 +1,197 @@
+//! Link metrology: BER/PER counters with confidence intervals.
+
+/// A bit-error counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ErrorCounter {
+    /// Bits (or packets) observed.
+    pub total: u64,
+    /// Errors observed.
+    pub errors: u64,
+}
+
+impl ErrorCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        ErrorCounter::default()
+    }
+
+    /// Adds a comparison of two bit slices (counts positions that differ;
+    /// a length mismatch counts the surplus as errors).
+    pub fn add_bits(&mut self, reference: &[bool], received: &[bool]) {
+        let n = reference.len().max(received.len());
+        self.total += n as u64;
+        let common = reference.len().min(received.len());
+        let diff = reference[..common]
+            .iter()
+            .zip(&received[..common])
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        self.errors += diff + (n - common) as u64;
+    }
+
+    /// Adds byte-level comparisons bitwise.
+    pub fn add_bytes(&mut self, reference: &[u8], received: &[u8]) {
+        let n = reference.len().max(received.len());
+        self.total += 8 * n as u64;
+        let common = reference.len().min(received.len());
+        let diff: u32 = reference[..common]
+            .iter()
+            .zip(&received[..common])
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        self.errors += diff as u64 + 8 * (n - common) as u64;
+    }
+
+    /// Records `n` observations with `e` errors.
+    pub fn add_raw(&mut self, n: u64, e: u64) {
+        self.total += n;
+        self.errors += e.min(n);
+    }
+
+    /// The error rate (0 if nothing observed).
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.total as f64
+        }
+    }
+
+    /// Wilson 95 % confidence interval for the error rate.
+    pub fn wilson_ci(&self) -> (f64, f64) {
+        if self.total == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.total as f64;
+        let p = self.rate();
+        let z = 1.96f64;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// `true` once enough errors are collected for a ±50 % relative CI
+    /// (rule of thumb: 100 errors).
+    pub fn is_converged(&self) -> bool {
+        self.errors >= 100
+    }
+
+    /// Merges another counter.
+    pub fn merge(&mut self, other: &ErrorCounter) {
+        self.total += other.total;
+        self.errors += other.errors;
+    }
+}
+
+impl std::fmt::Display for ErrorCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} = {:.3e}", self.errors, self.total, self.rate())
+    }
+}
+
+/// Theoretical BPSK BER in AWGN at the given Eb/N0 (dB) — the reference
+/// curve every waterfall is compared against.
+pub fn bpsk_awgn_ber(ebn0_db: f64) -> f64 {
+    let ebn0 = uwb_dsp::math::db_to_pow(ebn0_db);
+    uwb_dsp::math::q_function((2.0 * ebn0).sqrt())
+}
+
+/// Theoretical OOK (coherent) BER: `Q(sqrt(Eb/N0))` — 3 dB worse than BPSK.
+pub fn ook_awgn_ber(ebn0_db: f64) -> f64 {
+    let ebn0 = uwb_dsp::math::db_to_pow(ebn0_db);
+    uwb_dsp::math::q_function(ebn0.sqrt())
+}
+
+/// Theoretical coherent binary-PPM (orthogonal) BER: `Q(sqrt(Eb/N0))`.
+pub fn ppm2_awgn_ber(ebn0_db: f64) -> f64 {
+    ook_awgn_ber(ebn0_db)
+}
+
+/// Theoretical Gray-coded 4-PAM BER: `(3/4) Q(sqrt(4/5 · Eb/N0))`.
+pub fn pam4_awgn_ber(ebn0_db: f64) -> f64 {
+    let ebn0 = uwb_dsp::math::db_to_pow(ebn0_db);
+    0.75 * uwb_dsp::math::q_function((0.8 * ebn0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_counting() {
+        let mut c = ErrorCounter::new();
+        c.add_bits(&[true, false, true], &[true, true, true]);
+        assert_eq!(c.total, 3);
+        assert_eq!(c.errors, 1);
+        assert!((c.rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_counting() {
+        let mut c = ErrorCounter::new();
+        c.add_bytes(&[0xFF, 0x00], &[0xFE, 0x01]);
+        assert_eq!(c.total, 16);
+        assert_eq!(c.errors, 2);
+    }
+
+    #[test]
+    fn length_mismatch_counts_as_errors() {
+        let mut c = ErrorCounter::new();
+        c.add_bits(&[true; 5], &[true; 3]);
+        assert_eq!(c.total, 5);
+        assert_eq!(c.errors, 2);
+        let mut c2 = ErrorCounter::new();
+        c2.add_bytes(&[0u8; 4], &[0u8; 2]);
+        assert_eq!(c2.errors, 16);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_rate() {
+        let mut c = ErrorCounter::new();
+        c.add_raw(10_000, 100);
+        let (lo, hi) = c.wilson_ci();
+        assert!(lo < 0.01 && 0.01 < hi);
+        assert!(hi - lo < 0.005, "CI too wide: {lo}..{hi}");
+        assert!(c.is_converged());
+    }
+
+    #[test]
+    fn empty_counter_ci_is_unit() {
+        let c = ErrorCounter::new();
+        assert_eq!(c.rate(), 0.0);
+        assert_eq!(c.wilson_ci(), (0.0, 1.0));
+        assert!(!c.is_converged());
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = ErrorCounter::new();
+        a.add_raw(100, 5);
+        let mut b = ErrorCounter::new();
+        b.add_raw(50, 2);
+        a.merge(&b);
+        assert_eq!(a.total, 150);
+        assert_eq!(a.errors, 7);
+    }
+
+    #[test]
+    fn theory_reference_points() {
+        // BPSK: 9.6 dB -> ~1e-5; 6.8 dB -> ~1e-3.
+        assert!((bpsk_awgn_ber(9.6).log10() + 5.0).abs() < 0.15);
+        assert!((bpsk_awgn_ber(6.8).log10() + 3.0).abs() < 0.15);
+        // OOK/PPM is 3 dB worse than BPSK.
+        assert!((ook_awgn_ber(12.6) / bpsk_awgn_ber(9.6) - 1.0).abs() < 0.05);
+        assert_eq!(ook_awgn_ber(8.0), ppm2_awgn_ber(8.0));
+        // 4-PAM worse than BPSK at the same Eb/N0.
+        assert!(pam4_awgn_ber(9.6) > bpsk_awgn_ber(9.6));
+    }
+
+    #[test]
+    fn display_format() {
+        let mut c = ErrorCounter::new();
+        c.add_raw(1000, 3);
+        assert!(c.to_string().contains("3/1000"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Automatic gain control.
+//!
+//! The ADCs have a fixed full-scale range; the AGC scales the analog signal
+//! so the converter's dynamic range is used efficiently. Mis-set gain is one
+//! of the mechanisms by which a strong narrowband interferer destroys a
+//! low-resolution ADC's signal (paper §1 / their ref \[1\]): the AGC backs off
+//! to avoid clipping the interferer and the wanted signal drops below one
+//! LSB.
+
+use uwb_dsp::complex::mean_power;
+use uwb_dsp::Complex;
+
+/// Feed-forward block AGC: measures power over a block and applies one gain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agc {
+    target_rms: f64,
+    max_gain: f64,
+    min_gain: f64,
+    gain: f64,
+}
+
+impl Agc {
+    /// Creates an AGC targeting the given RMS level with gain limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_gain <= max_gain` and `target_rms > 0`.
+    pub fn new(target_rms: f64, min_gain: f64, max_gain: f64) -> Self {
+        assert!(target_rms > 0.0, "target RMS must be positive");
+        assert!(
+            min_gain > 0.0 && min_gain <= max_gain,
+            "need 0 < min_gain <= max_gain"
+        );
+        Agc {
+            target_rms,
+            max_gain,
+            min_gain,
+            gain: 1.0,
+        }
+    }
+
+    /// An AGC for an ADC with full-scale ±1: targets RMS at −9 dBFS
+    /// (crest-factor headroom for pulsed signals), 60 dB gain range.
+    pub fn for_unit_adc() -> Self {
+        Agc::new(0.355, 1e-3, 1e3)
+    }
+
+    /// The most recent gain applied.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The target RMS level.
+    pub fn target_rms(&self) -> f64 {
+        self.target_rms
+    }
+
+    /// Measures the block and applies the computed gain. A silent block
+    /// keeps the previous gain.
+    pub fn process(&mut self, signal: &[Complex]) -> Vec<Complex> {
+        let p = mean_power(signal);
+        if p > 0.0 {
+            self.gain = (self.target_rms / p.sqrt()).clamp(self.min_gain, self.max_gain);
+        }
+        signal.iter().map(|&z| z * self.gain).collect()
+    }
+
+    /// Variant that sets gain from peak amplitude rather than RMS — this is
+    /// what a clipping-avoidance AGC does, and what lets a strong interferer
+    /// crush the wanted signal.
+    pub fn process_peak_referenced(&mut self, signal: &[Complex], full_scale: f64) -> Vec<Complex> {
+        let peak = signal.iter().fold(0.0f64, |m, z| m.max(z.norm()));
+        if peak > 0.0 {
+            self.gain = (full_scale / peak).clamp(self.min_gain, self.max_gain);
+        }
+        signal.iter().map(|&z| z * self.gain).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uwb_sim::rng::Rand;
+
+    #[test]
+    fn rms_converges_to_target() {
+        let mut agc = Agc::new(0.5, 1e-3, 1e3);
+        let mut rng = Rand::new(1);
+        let sig = uwb_sim::awgn::complex_noise(10_000, 25.0, &mut rng); // RMS 5
+        let out = agc.process(&sig);
+        let rms_out = mean_power(&out).sqrt();
+        assert!((rms_out - 0.5).abs() < 0.02, "{rms_out}");
+    }
+
+    #[test]
+    fn gain_limits_respected() {
+        let mut agc = Agc::new(1.0, 0.5, 2.0);
+        // Tiny signal wants gain >> 2: clamped.
+        let tiny = vec![Complex::new(1e-6, 0.0); 100];
+        agc.process(&tiny);
+        assert_eq!(agc.gain(), 2.0);
+        // Huge signal wants gain << 0.5: clamped.
+        let huge = vec![Complex::new(1e6, 0.0); 100];
+        agc.process(&huge);
+        assert_eq!(agc.gain(), 0.5);
+    }
+
+    #[test]
+    fn silence_keeps_gain() {
+        let mut agc = Agc::for_unit_adc();
+        let sig = vec![Complex::new(0.1, 0.0); 100];
+        agc.process(&sig);
+        let g = agc.gain();
+        agc.process(&vec![Complex::ZERO; 100]);
+        assert_eq!(agc.gain(), g);
+    }
+
+    #[test]
+    fn peak_referenced_backs_off_for_interferer() {
+        // Wanted pulse amplitude 0.1, interferer amplitude 10: peak AGC sets
+        // gain from the interferer, crushing the pulse.
+        let mut agc = Agc::new(0.355, 1e-6, 1e6);
+        let mut sig = vec![Complex::new(0.1, 0.0); 100];
+        sig[50] = Complex::new(10.0, 0.0);
+        let out = agc.process_peak_referenced(&sig, 1.0);
+        // Pulse is now at 0.1 * (1/10) = 0.01 of full scale.
+        assert!((out[0].norm() - 0.01).abs() < 1e-9, "{}", out[0].norm());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_gain")]
+    fn bad_limits_panic() {
+        Agc::new(1.0, 2.0, 1.0);
+    }
+}

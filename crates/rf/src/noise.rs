@@ -1,0 +1,119 @@
+//! Thermal noise and noise-figure bookkeeping.
+
+use uwb_sim::rng::Rand;
+use uwb_sim::time::Hertz;
+use uwb_dsp::Complex;
+
+/// Boltzmann constant (J/K).
+pub const BOLTZMANN: f64 = 1.380649e-23;
+/// Standard noise temperature (K).
+pub const T0_KELVIN: f64 = 290.0;
+
+/// Thermal noise power in watts for a bandwidth at 290 K: `k T0 B`.
+pub fn thermal_noise_watts(bandwidth: Hertz) -> f64 {
+    BOLTZMANN * T0_KELVIN * bandwidth.as_hz()
+}
+
+/// Thermal noise power in dBm for a bandwidth at 290 K.
+pub fn thermal_noise_dbm(bandwidth: Hertz) -> f64 {
+    10.0 * (thermal_noise_watts(bandwidth) * 1e3).log10()
+}
+
+/// Converts a noise figure (dB) to the equivalent input-referred noise
+/// temperature in kelvin: `Te = T0 (F − 1)`.
+pub fn noise_figure_to_temperature(nf_db: f64) -> f64 {
+    T0_KELVIN * (uwb_dsp::math::db_to_pow(nf_db) - 1.0)
+}
+
+/// Cascaded noise figure (Friis). Stages are `(gain_db, nf_db)` in signal
+/// order; returns the composite noise figure in dB.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty.
+pub fn friis_cascade_nf_db(stages: &[(f64, f64)]) -> f64 {
+    assert!(!stages.is_empty(), "need at least one stage");
+    let mut f_total = uwb_dsp::math::db_to_pow(stages[0].1);
+    let mut gain_product = uwb_dsp::math::db_to_pow(stages[0].0);
+    for &(g_db, nf_db) in &stages[1..] {
+        let f = uwb_dsp::math::db_to_pow(nf_db);
+        f_total += (f - 1.0) / gain_product;
+        gain_product *= uwb_dsp::math::db_to_pow(g_db);
+    }
+    uwb_dsp::math::pow_to_db(f_total)
+}
+
+/// Adds input-referred front-end noise to a complex baseband signal.
+///
+/// `signal_power_ref` is the nominal signal power the SNR is referenced to;
+/// `snr_at_antenna_db` is the SNR the antenna delivers; the front end then
+/// degrades it by `nf_db`.
+pub fn apply_front_end_noise(
+    signal: &[Complex],
+    signal_power_ref: f64,
+    snr_at_antenna_db: f64,
+    nf_db: f64,
+    rng: &mut Rand,
+) -> Vec<Complex> {
+    let effective_snr = snr_at_antenna_db - nf_db;
+    let noise_power = signal_power_ref / uwb_dsp::math::db_to_pow(effective_snr);
+    uwb_sim::awgn::add_awgn_complex(signal, noise_power, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_reference_values() {
+        // kT0 = -174 dBm/Hz.
+        let per_hz = thermal_noise_dbm(Hertz::new(1.0));
+        assert!((per_hz + 174.0).abs() < 0.1, "{per_hz}");
+        let mhz500 = thermal_noise_dbm(Hertz::from_mhz(500.0));
+        assert!((mhz500 + 87.0).abs() < 0.1, "{mhz500}");
+    }
+
+    #[test]
+    fn nf_to_temperature() {
+        assert!(noise_figure_to_temperature(0.0).abs() < 1e-9);
+        // 3 dB NF ~ 290 K.
+        let t = noise_figure_to_temperature(3.0103);
+        assert!((t - 290.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn friis_single_stage() {
+        assert!((friis_cascade_nf_db(&[(20.0, 4.0)]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn friis_first_stage_dominates() {
+        // High-gain low-NF LNA hides a noisy mixer.
+        let nf = friis_cascade_nf_db(&[(20.0, 3.0), (0.0, 15.0)]);
+        assert!(nf < 4.5, "{nf}");
+        // Without LNA gain the mixer dominates.
+        let nf_bad = friis_cascade_nf_db(&[(0.0, 3.0), (0.0, 15.0)]);
+        assert!(nf_bad > 15.0, "{nf_bad}");
+    }
+
+    #[test]
+    fn front_end_noise_degrades_snr_by_nf() {
+        let mut rng = Rand::new(1);
+        let sig = vec![Complex::ONE; 100_000];
+        let out = apply_front_end_noise(&sig, 1.0, 20.0, 6.0, &mut rng);
+        let resid: f64 = out
+            .iter()
+            .map(|z| (*z - Complex::ONE).norm_sqr())
+            .sum::<f64>()
+            / out.len() as f64;
+        // Effective SNR 14 dB -> noise power ~0.0398.
+        let expect = uwb_dsp::math::db_to_pow(-14.0);
+        assert!((resid - expect).abs() / expect < 0.05, "{resid} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_cascade_panics() {
+        friis_cascade_nf_db(&[]);
+    }
+}

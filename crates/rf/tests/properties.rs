@@ -1,0 +1,111 @@
+//! Property-based tests for the RF behavioral models.
+
+use proptest::prelude::*;
+use uwb_dsp::Complex;
+use uwb_rf::{Agc, IqImpairments, Lna, LocalOscillator, TunableNotch};
+use uwb_sim::time::{Hertz, SampleRate};
+use uwb_sim::Rand;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// In the small-signal regime the LNA is linear: doubling the input
+    /// doubles the output (noise disabled).
+    #[test]
+    fn lna_small_signal_linear(gain_db in 0.0f64..30.0, amp in 1e-6f64..1e-3) {
+        let lna = Lna { gain_db, nf_db: 0.0, iip3_dbm: 20.0 };
+        let mut rng = Rand::new(0);
+        let x = vec![amp, -amp, amp / 2.0];
+        let y = lna.amplify_real(&x, 0.0, &mut rng);
+        let g = uwb_dsp::math::db_to_amp(gain_db);
+        for (xi, yi) in x.iter().zip(&y) {
+            prop_assert!((yi - g * xi).abs() < g * amp * 1e-3);
+        }
+    }
+
+    /// Compression only ever reduces gain (output magnitude <= linear gain).
+    #[test]
+    fn lna_never_expands(amp in 1e-4f64..0.5, iip3 in -20.0f64..10.0) {
+        let lna = Lna { gain_db: 10.0, nf_db: 0.0, iip3_dbm: iip3 };
+        let mut rng = Rand::new(1);
+        let y = lna.amplify_real(&[amp], 0.0, &mut rng)[0];
+        let g = uwb_dsp::math::db_to_amp(10.0);
+        prop_assert!(y.abs() <= g * amp + 1e-12);
+    }
+
+    /// The AGC always lands the RMS on target (within clamp limits).
+    #[test]
+    fn agc_hits_target(power in 1e-4f64..1e4, target in 0.05f64..2.0) {
+        let mut agc = Agc::new(target, 1e-6, 1e6);
+        let mut rng = Rand::new(2);
+        let sig = uwb_sim::awgn::complex_noise(5_000, power, &mut rng);
+        let out = agc.process(&sig);
+        let rms = uwb_dsp::complex::mean_power(&out).sqrt();
+        prop_assert!((rms - target).abs() / target < 0.1, "{rms} vs {target}");
+    }
+
+    /// A bypassed notch is the identity; an engaged notch never amplifies
+    /// total power.
+    #[test]
+    fn notch_passive(f_mhz in -400.0f64..400.0, seed in any::<u64>()) {
+        let fs = SampleRate::from_gsps(1.0);
+        let mut rng = Rand::new(seed);
+        let sig = uwb_sim::awgn::complex_noise(4_096, 1.0, &mut rng);
+        let mut notch = TunableNotch::new(fs, 30.0);
+        prop_assert_eq!(notch.process(&sig), sig.clone());
+        notch.tune(Hertz::new(f_mhz * 1e6));
+        let out = notch.process(&sig);
+        let p_in = uwb_dsp::complex::mean_power(&sig);
+        let p_out = uwb_dsp::complex::mean_power(&out);
+        prop_assert!(p_out <= p_in * 1.05, "notch amplified: {p_out} vs {p_in}");
+    }
+
+    /// LO ppm arithmetic: actual = nominal * (1 + ppm * 1e-6).
+    #[test]
+    fn lo_cfo_arithmetic(ghz in 1.0f64..11.0, ppm in -100.0f64..100.0) {
+        let lo = LocalOscillator::with_impairments(Hertz::from_ghz(ghz), ppm, 0.0);
+        let expect = ghz * 1e9 * ppm * 1e-6;
+        prop_assert!((lo.cfo_hz() - expect).abs() < 1e-3 * expect.abs().max(1.0));
+    }
+
+    /// LO phasors always have unit magnitude, with or without phase noise.
+    #[test]
+    fn lo_unit_magnitude(linewidth in 0.0f64..1e6, seed in any::<u64>()) {
+        let mut lo = LocalOscillator::with_impairments(Hertz::from_mhz(100.0), 0.0, linewidth);
+        let mut rng = Rand::new(seed);
+        for z in lo.generate(256, 1e9, &mut rng) {
+            prop_assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Image-rejection ratio decreases as impairments grow.
+    #[test]
+    fn irr_monotone(gain_db in 0.01f64..2.0, phase_deg in 0.1f64..10.0) {
+        let small = IqImpairments {
+            gain_imbalance_db: gain_db / 2.0,
+            phase_error_deg: phase_deg / 2.0,
+            dc_offset_i: 0.0,
+            dc_offset_q: 0.0,
+        };
+        let large = IqImpairments {
+            gain_imbalance_db: gain_db,
+            phase_error_deg: phase_deg,
+            dc_offset_i: 0.0,
+            dc_offset_q: 0.0,
+        };
+        prop_assert!(small.image_rejection_db() > large.image_rejection_db());
+    }
+
+    /// remove_dc leaves a zero-mean signal.
+    #[test]
+    fn dc_removal(re in -2.0f64..2.0, im in -2.0f64..2.0, seed in any::<u64>()) {
+        let mut rng = Rand::new(seed);
+        let sig: Vec<Complex> = uwb_sim::awgn::complex_noise(1_000, 0.5, &mut rng)
+            .into_iter()
+            .map(|z| z + Complex::new(re, im))
+            .collect();
+        let clean = uwb_rf::downconvert::remove_dc(&sig);
+        let mean = clean.iter().copied().sum::<Complex>() / clean.len() as f64;
+        prop_assert!(mean.norm() < 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Additive white Gaussian noise.
+
+use crate::rng::Rand;
+use uwb_dsp::complex::{mean_power, mean_power_real};
+use uwb_dsp::Complex;
+
+/// Adds real AWGN of the given power (variance) to a signal.
+pub fn add_awgn_real(signal: &[f64], noise_power: f64, rng: &mut Rand) -> Vec<f64> {
+    let sigma = noise_power.max(0.0).sqrt();
+    signal
+        .iter()
+        .map(|&x| x + sigma * rng.gaussian())
+        .collect()
+}
+
+/// Adds circularly-symmetric complex AWGN of total power `noise_power`
+/// (split evenly between I and Q).
+pub fn add_awgn_complex(signal: &[Complex], noise_power: f64, rng: &mut Rand) -> Vec<Complex> {
+    let sigma = (noise_power.max(0.0) / 2.0).sqrt();
+    signal
+        .iter()
+        .map(|&z| z + Complex::new(sigma * rng.gaussian(), sigma * rng.gaussian()))
+        .collect()
+}
+
+/// Generates `n` samples of complex AWGN with total power `noise_power`.
+pub fn complex_noise(n: usize, noise_power: f64, rng: &mut Rand) -> Vec<Complex> {
+    let sigma = (noise_power.max(0.0) / 2.0).sqrt();
+    (0..n)
+        .map(|_| Complex::new(sigma * rng.gaussian(), sigma * rng.gaussian()))
+        .collect()
+}
+
+/// Generates `n` samples of real AWGN with power (variance) `noise_power`.
+pub fn real_noise(n: usize, noise_power: f64, rng: &mut Rand) -> Vec<f64> {
+    let sigma = noise_power.max(0.0).sqrt();
+    (0..n).map(|_| sigma * rng.gaussian()).collect()
+}
+
+/// Adds complex noise scaled for a target SNR (dB) relative to the measured
+/// power of `signal`. Returns the noisy signal and the noise power used.
+pub fn add_noise_snr(signal: &[Complex], snr_db: f64, rng: &mut Rand) -> (Vec<Complex>, f64) {
+    let p_sig = mean_power(signal);
+    let p_noise = p_sig / uwb_dsp::math::db_to_pow(snr_db);
+    (add_awgn_complex(signal, p_noise, rng), p_noise)
+}
+
+/// Real-signal variant of [`add_noise_snr`].
+pub fn add_noise_snr_real(signal: &[f64], snr_db: f64, rng: &mut Rand) -> (Vec<f64>, f64) {
+    let p_sig = mean_power_real(signal);
+    let p_noise = p_sig / uwb_dsp::math::db_to_pow(snr_db);
+    (add_awgn_real(signal, p_noise, rng), p_noise)
+}
+
+/// Noise power for a given `Eb/N0` (dB) at complex baseband.
+///
+/// With `samples_per_bit` samples carrying each bit and average signal power
+/// `signal_power`, the energy per bit is `signal_power * samples_per_bit`
+/// (per-sample units), so `N0 = Eb / (Eb/N0)` and the per-sample complex
+/// noise power at the full sample rate is `N0` (two-sided, I+Q).
+pub fn noise_power_for_ebn0(signal_power: f64, samples_per_bit: f64, ebn0_db: f64) -> f64 {
+    let eb = signal_power * samples_per_bit;
+    eb / uwb_dsp::math::db_to_pow(ebn0_db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_power_is_calibrated() {
+        let mut rng = Rand::new(1);
+        let n = 200_000;
+        let p = 0.04;
+        let noise = complex_noise(n, p, &mut rng);
+        let measured = mean_power(&noise);
+        assert!((measured - p).abs() / p < 0.03, "{measured}");
+        let rnoise = real_noise(n, p, &mut rng);
+        let rm = mean_power_real(&rnoise);
+        assert!((rm - p).abs() / p < 0.03, "{rm}");
+    }
+
+    #[test]
+    fn snr_calibration() {
+        let mut rng = Rand::new(2);
+        let sig = vec![Complex::ONE; 100_000];
+        let (noisy, p_noise) = add_noise_snr(&sig, 10.0, &mut rng);
+        assert!((p_noise - 0.1).abs() < 1e-12);
+        // Noise power check: subtract the known signal.
+        let resid: f64 = noisy
+            .iter()
+            .map(|z| (*z - Complex::ONE).norm_sqr())
+            .sum::<f64>()
+            / noisy.len() as f64;
+        assert!((resid - 0.1).abs() < 0.005, "{resid}");
+    }
+
+    #[test]
+    fn snr_real_calibration() {
+        let mut rng = Rand::new(3);
+        let sig = vec![1.0; 100_000];
+        let (noisy, p_noise) = add_noise_snr_real(&sig, 3.0, &mut rng);
+        let resid: f64 = noisy.iter().map(|x| (x - 1.0) * (x - 1.0)).sum::<f64>()
+            / noisy.len() as f64;
+        assert!((resid - p_noise).abs() / p_noise < 0.05);
+    }
+
+    #[test]
+    fn zero_noise_passthrough() {
+        let mut rng = Rand::new(4);
+        let sig = vec![Complex::new(1.0, -2.0); 16];
+        let out = add_awgn_complex(&sig, 0.0, &mut rng);
+        assert_eq!(out, sig);
+    }
+
+    #[test]
+    fn ebn0_mapping() {
+        // 0 dB Eb/N0, unit power, 1 sample/bit: N0 = 1.
+        assert!((noise_power_for_ebn0(1.0, 1.0, 0.0) - 1.0).abs() < 1e-12);
+        // +3 dB halves the noise.
+        assert!((noise_power_for_ebn0(1.0, 1.0, 3.0103) - 0.5).abs() < 1e-4);
+        // More samples per bit means proportionally more noise per sample.
+        assert!((noise_power_for_ebn0(1.0, 8.0, 0.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_white_ish() {
+        // Lag-1 autocorrelation should be near zero.
+        let mut rng = Rand::new(5);
+        let noise = real_noise(100_000, 1.0, &mut rng);
+        let mut acc = 0.0;
+        for i in 0..noise.len() - 1 {
+            acc += noise[i] * noise[i + 1];
+        }
+        let rho = acc / (noise.len() - 1) as f64;
+        assert!(rho.abs() < 0.02, "lag-1 correlation {rho}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Deterministic randomness plumbing.
+//!
+//! Every stochastic model in the workspace takes an explicit `u64` seed so
+//! experiments are bit-reproducible. This module wraps `rand`'s `StdRng`
+//! with Gaussian sampling (Box–Muller, no external distribution crate).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with Gaussian sampling.
+///
+/// ```
+/// use uwb_sim::Rand;
+/// let mut a = Rand::new(42);
+/// let mut b = Rand::new(42);
+/// assert_eq!(a.gaussian(), b.gaussian()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rand {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl Rand {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rand {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; `label` decorrelates children
+    /// of the same parent seed.
+    pub fn fork(&mut self, label: u64) -> Rand {
+        let s: u64 = self.rng.gen::<u64>() ^ label.wrapping_mul(0x9E3779B97F4A7C15);
+        Rand::new(s)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.rng.gen_range(0..n)
+    }
+
+    /// A random boolean with probability `p` of being `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// A random bit (fair coin).
+    pub fn bit(&mut self) -> bool {
+        self.rng.gen::<bool>()
+    }
+
+    /// Fills a byte buffer with random data.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.rng.fill(buf);
+    }
+
+    /// Standard normal sample (Box–Muller with caching of the spare value).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u1 = self.uniform();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2 = self.uniform();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = std::f64::consts::TAU * u2;
+            self.spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Exponential sample with the given rate λ (mean `1/λ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0`.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / rate
+    }
+
+    /// Rayleigh sample with scale σ (mode σ).
+    pub fn rayleigh(&mut self, sigma: f64) -> f64 {
+        let x = self.gaussian() * sigma;
+        let y = self.gaussian() * sigma;
+        x.hypot(y)
+    }
+
+    /// Log-normal sample where the underlying normal has mean `mu` and
+    /// standard deviation `sigma` (both in natural-log units).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.gaussian_with(mu, sigma).exp()
+    }
+
+    /// Random vector of `n` standard normal samples.
+    pub fn gaussian_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.gaussian()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uwb_dsp::math::{mean, std_dev, variance};
+
+    #[test]
+    fn determinism() {
+        let mut a = Rand::new(7);
+        let mut b = Rand::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+            assert_eq!(a.gaussian(), b.gaussian());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rand::new(1);
+        let mut b = Rand::new(2);
+        let va: Vec<f64> = (0..10).map(|_| a.uniform()).collect();
+        let vb: Vec<f64> = (0..10).map(|_| b.uniform()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut parent = Rand::new(9);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let v1: Vec<f64> = (0..10).map(|_| c1.uniform()).collect();
+        let v2: Vec<f64> = (0..10).map(|_| c2.uniform()).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rand::new(123);
+        let v = r.gaussian_vec(200_000);
+        assert!(mean(&v).abs() < 0.02, "mean {}", mean(&v));
+        assert!((variance(&v) - 1.0).abs() < 0.03, "var {}", variance(&v));
+    }
+
+    #[test]
+    fn gaussian_with_params() {
+        let mut r = Rand::new(5);
+        let v: Vec<f64> = (0..100_000).map(|_| r.gaussian_with(3.0, 0.5)).collect();
+        assert!((mean(&v) - 3.0).abs() < 0.02);
+        assert!((std_dev(&v) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Rand::new(11);
+        let rate = 4.0;
+        let v: Vec<f64> = (0..100_000).map(|_| r.exponential(rate)).collect();
+        assert!((mean(&v) - 1.0 / rate).abs() < 0.01);
+        assert!(v.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn rayleigh_mean() {
+        let mut r = Rand::new(13);
+        let sigma = 2.0;
+        let v: Vec<f64> = (0..100_000).map(|_| r.rayleigh(sigma)).collect();
+        // Rayleigh mean = sigma * sqrt(pi/2).
+        let expect = sigma * (std::f64::consts::PI / 2.0).sqrt();
+        assert!((mean(&v) - expect).abs() < 0.05);
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut r = Rand::new(17);
+        for _ in 0..1000 {
+            assert!(r.lognormal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = Rand::new(19);
+        for _ in 0..1000 {
+            let x = r.uniform_in(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+            let k = r.below(7);
+            assert!(k < 7);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rand::new(23);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Rand::new(0).below(0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Severe-multipath link: a gen2 packet through a CM3 channel (the paper's
+//! "rms delay spread of the channel on the order of 20 ns" regime), showing
+//! the 4-bit channel estimate and the RAKE fingers it selects.
+//!
+//! Run with: `cargo run --release --example multipath_link`
+
+use uwb::phy::{Gen2Config, Gen2Receiver, Gen2Transmitter, RakeReceiver};
+use uwb::sim::awgn::add_awgn_complex;
+use uwb::sim::{ChannelModel, ChannelRealization, Rand};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = Gen2Config::nominal_100mbps();
+    let tx = Gen2Transmitter::new(config.clone())?;
+    let rx = Gen2Receiver::new(config.clone())?;
+    let mut rng = Rand::new(3);
+
+    // Draw a CM3 (NLOS, 4-10 m) channel realization.
+    let channel = ChannelRealization::generate(ChannelModel::Cm3, &mut rng);
+    println!(
+        "channel: CM3, {} paths, rms delay spread {:.1} ns, max excess {:.1} ns",
+        channel.len(),
+        channel.rms_delay_spread_ns(),
+        channel.max_excess_delay_ns()
+    );
+    println!(
+        "energy captured by the 8 strongest paths: {:.0} %",
+        100.0 * channel.energy_capture(8)
+    );
+
+    // Send a packet through multipath + noise.
+    let payload = vec![0xC3u8; 64];
+    let burst = tx.transmit_packet(&payload)?;
+    let through = channel.apply(&burst.samples, config.sample_rate);
+    let p = uwb_dsp::complex::mean_power(&through);
+    let noisy = add_awgn_complex(&through, p / 4.0, &mut rng); // ~6 dB/sample
+
+    let packet = rx.receive_packet(&noisy)?;
+    assert_eq!(packet.payload, payload);
+    println!(
+        "\nacquisition locked at offset {} (metric {:.2})",
+        packet.acquisition.offset, packet.acquisition.metric
+    );
+
+    // Inspect the quantized channel estimate the RAKE used.
+    let est = &packet.estimate;
+    println!(
+        "channel estimate: {} taps, energy {:.3} (4-bit quantized)",
+        est.len(),
+        est.energy()
+    );
+    let rake = RakeReceiver::from_estimate(est, config.rake_fingers);
+    println!("RAKE fingers (delay in ns, |gain|):");
+    for (delay, gain) in rake.fingers() {
+        println!(
+            "  tap @ {:>5.1} ns  |h| = {:.3}",
+            *delay as f64 / config.sample_rate.as_hz() * 1e9,
+            gain.norm()
+        );
+    }
+    println!(
+        "fingers capture {:.0} % of the estimated channel energy",
+        100.0 * rake.energy_capture(est)
+    );
+    println!("\npayload decoded and CRC-verified through ~14 ns rms multipath");
+    Ok(())
+}

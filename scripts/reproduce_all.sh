@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every experiment of EXPERIMENTS.md in sequence.
+# Usage: scripts/reproduce_all.sh [output-dir]
+set -u
+out="${1:-results}"
+mkdir -p "$out"
+bins="fig4_pulse fcc_mask gen1_link gen1_sync adc_resolution gen2_link \
+      chanest_bits acquisition_time interferer_notch bandplan \
+      power_breakdown modulation_compare adaptation ranging \
+      rake_fingers tracking_loops channel_profiles interleave_mismatch \
+      acquisition_roc frame_efficiency"
+fail=0
+for b in $bins; do
+    echo "=== $b ==="
+    if cargo run -p uwb-bench --release --bin "$b" > "$out/$b.txt" 2>&1; then
+        tail -3 "$out/$b.txt"
+    else
+        echo "FAILED: $b (see $out/$b.txt)"
+        fail=1
+    fi
+done
+echo
+echo "outputs in $out/"
+exit $fail

@@ -21,11 +21,39 @@ use uwb_platform::metrics::ErrorCounter;
 use uwb_platform::report::{format_rate, Table};
 use uwb_rf::TunableNotch;
 use uwb_sim::awgn::add_awgn_complex;
+use uwb_sim::montecarlo::{MonteCarlo, RunOutcome};
 use uwb_sim::time::Hertz;
-use uwb_sim::{Interferer, Rand};
+use uwb_sim::Interferer;
+
+/// Per-worker state for the interferer-regime study: transmitter, receiver,
+/// quantizer under test and the pre-tuned digital notch, all built once per
+/// worker thread (the old loop rebuilt the notch for every trial).
+struct AdcWorker {
+    config: Gen2Config,
+    tx: Gen2Transmitter,
+    rx: Gen2Receiver,
+    quantizer: Quantizer,
+    notch: TunableNotch,
+}
+
+impl AdcWorker {
+    fn new(config: &Gen2Config, bits: u32) -> Self {
+        let mut notch = TunableNotch::new(config.sample_rate, 30.0);
+        notch.tune(Hertz::new(150e6));
+        AdcWorker {
+            config: config.clone(),
+            tx: Gen2Transmitter::new(config.clone()).expect("tx"),
+            rx: Gen2Receiver::new(config.clone()).expect("rx"),
+            quantizer: Quantizer::new(bits, 1.0),
+            notch,
+        }
+    }
+}
 
 /// BER with explicit quantization at `bits`, digital notch, transparent
-/// receiver.
+/// receiver. Runs on the deterministic parallel engine; a truncated run
+/// (trial budget before error target / bit budget) is reported in the
+/// returned [`RunOutcome::stats`] instead of being silently swallowed.
 fn interferer_ber(
     bits: u32,
     ebn0_db: f64,
@@ -33,59 +61,56 @@ fn interferer_ber(
     notch: bool,
     target_errors: u64,
     max_bits: u64,
-) -> ErrorCounter {
+) -> RunOutcome<ErrorCounter> {
     // Transparent receiver: effectively unquantized internal ADC.
     let config = Gen2Config {
         adc_bits: 24,
         preamble_repeats: 2,
         ..Gen2Config::nominal_100mbps()
     };
-    let tx = Gen2Transmitter::new(config.clone()).expect("tx");
-    let rx = Gen2Receiver::new(config.clone()).expect("rx");
-    let quantizer = Quantizer::new(bits, 1.0);
-    let mut counter = ErrorCounter::new();
-    let mut trial = 0u64;
     let payload_len = 32usize;
-    while counter.errors < target_errors && counter.total < max_bits && trial < 10_000 {
-        let mut rng = Rand::new(EXPERIMENT_SEED ^ (bits as u64) << 32 ^ trial);
-        let mut payload = vec![0u8; payload_len];
-        rng.fill_bytes(&mut payload);
-        let burst = tx.transmit_packet(&payload).expect("frame");
-        let fs = config.sample_rate.as_hz();
+    let master_seed = EXPERIMENT_SEED ^ ((bits as u64) << 32) ^ ((notch as u64) << 48);
+    MonteCarlo::new(master_seed, 10_000).run(
+        || AdcWorker::new(&config, bits),
+        |w, _trial, rng, counter: &mut ErrorCounter| {
+            let mut payload = vec![0u8; payload_len];
+            rng.fill_bytes(&mut payload);
+            let burst = w.tx.transmit_packet(&payload).expect("frame");
+            let fs = w.config.sample_rate.as_hz();
 
-        // Noise at the target Eb/N0 (Eb = 1 pulse-energy per bit for BPSK).
-        let n0 = 1.0 / uwb_dsp::math::db_to_pow(ebn0_db);
-        let mut samples = add_awgn_complex(&burst.samples, n0, &mut rng);
+            // Noise at the target Eb/N0 (Eb = 1 pulse-energy/bit for BPSK).
+            let n0 = 1.0 / uwb_dsp::math::db_to_pow(ebn0_db);
+            let mut samples = add_awgn_complex(&burst.samples, n0, rng);
 
-        // Strong in-band CW interferer.
-        let p_sig = uwb_dsp::complex::mean_power(&burst.samples);
-        let intf = Interferer::cw(150e6, p_sig * uwb_dsp::math::db_to_pow(intf_rel_db));
-        samples = intf.add_to(&samples, fs, &mut rng);
+            // Strong in-band CW interferer.
+            let p_sig = uwb_dsp::complex::mean_power(&burst.samples);
+            let intf = Interferer::cw(150e6, p_sig * uwb_dsp::math::db_to_pow(intf_rel_db));
+            samples = intf.add_to(&samples, fs, rng);
 
-        // AGC to the ADC full scale, then quantize at the resolution under
-        // test: the interferer dominates the AGC, exactly the failure mode
-        // under study.
-        let p = uwb_dsp::complex::mean_power(&samples);
-        let gain = 0.355 / p.sqrt();
-        let scaled: Vec<Complex> = samples.iter().map(|&z| z * gain).collect();
-        let mut digitized = quantizer.quantize_complex(&scaled);
+            // AGC to the ADC full scale, then quantize at the resolution
+            // under test: the interferer dominates the AGC, exactly the
+            // failure mode under study.
+            let p = uwb_dsp::complex::mean_power(&samples);
+            let gain = 0.355 / p.sqrt();
+            let scaled: Vec<Complex> = samples.iter().map(|&z| z * gain).collect();
+            let mut digitized = w.quantizer.quantize_complex(&scaled);
 
-        // Digital notch at the (known) interferer frequency — the back end's
-        // interference suppression, operating on quantized data.
-        if notch {
-            let mut filter = TunableNotch::new(config.sample_rate, 30.0);
-            filter.tune(Hertz::new(150e6));
-            digitized = filter.process(&digitized);
-        }
+            // Digital notch at the (known) interferer frequency — the back
+            // end's interference suppression, operating on quantized data.
+            if notch {
+                digitized = w.notch.process(&digitized);
+            }
 
-        let slot0_start = burst.slot0_center - tx.pulse().len() / 2;
-        let stats = rx.payload_statistics_known_timing(&digitized, slot0_start, payload_len);
-        if let Ok(decoded) = decode_payload_bits(&stats, payload_len, &config) {
-            counter.add_bits(&reference_payload_bits(&payload), &decoded);
-        }
-        trial += 1;
-    }
-    counter
+            let slot0_start = burst.slot0_center - w.tx.pulse().len() / 2;
+            let stats = w
+                .rx
+                .payload_statistics_known_timing(&digitized, slot0_start, payload_len);
+            if let Ok(decoded) = decode_payload_bits(&stats, payload_len, &w.config) {
+                counter.add_bits(&reference_payload_bits(&payload), &decoded);
+            }
+        },
+        |c| c.errors >= target_errors || c.total >= max_bits,
+    )
 }
 
 fn main() {
@@ -162,20 +187,25 @@ fn main() {
         "BER (interferer, no notch)",
     ]);
     let mut notched_rows = Vec::new();
+    let mut truncated = 0u32;
     for &b in &bits_grid {
         let with_notch = interferer_ber(b, ebn0_i, intf_rel_db, true, target_errors, max_bits);
         let without = interferer_ber(b, ebn0_i, intf_rel_db, false, 30, 40_000);
-        notched_rows.push((b, with_notch.rate()));
+        truncated += with_notch.stats.truncated() as u32 + without.stats.truncated() as u32;
+        notched_rows.push((b, with_notch.value.rate()));
         t2.row(vec![
             b.to_string(),
-            format_rate(with_notch.errors, with_notch.total),
-            format_rate(without.errors, without.total),
+            format_rate(with_notch.value.errors, with_notch.value.total),
+            format_rate(without.value.errors, without.value.total),
         ]);
     }
     println!(
         "interferer regime (CW {intf_rel_db:.0} dB above signal, Eb/N0 = {ebn0_i} dB, \
          digital notch after the ADC):\n{t2}"
     );
+    if truncated > 0 {
+        println!("note: {truncated} run(s) hit the 10 000-trial budget before converging");
+    }
 
     let low_bits_fail = notched_rows[0].1 > 0.05; // 1-bit floors
     let three_bit = notched_rows[2].1;

@@ -6,12 +6,24 @@
 //! baseline. Expected shape: the RAKE's margin over the single finger grows
 //! with delay spread, and AWGN tracks the BPSK theory curve.
 
+use std::time::Duration;
 use uwb_bench::{banner, EXPERIMENT_SEED};
 use uwb_phy::Gen2Config;
-use uwb_platform::link::{run_ber_fast, LinkScenario};
+use uwb_platform::link::{run_ber_fast, BerRun, LinkScenario};
 use uwb_platform::metrics::bpsk_awgn_ber;
 use uwb_platform::report::{format_rate, Table};
+use uwb_sim::montecarlo::resolve_threads;
 use uwb_sim::sv_channel::ChannelModel;
+
+/// `errors/total = rate`, with a trailing `*` when the run exhausted its
+/// trial budget before reaching the error target or bit budget.
+fn format_cell(run: &BerRun) -> String {
+    let mut s = format_rate(run.errors, run.total);
+    if run.stop.truncated() {
+        s.push('*');
+    }
+    s
+}
 
 fn main() {
     println!(
@@ -36,6 +48,8 @@ fn main() {
         ..rake_cfg.clone()
     };
 
+    let mut total_trials = 0u64;
+    let mut total_wall = Duration::ZERO;
     for (label, channel) in [
         ("AWGN", ChannelModel::Awgn),
         ("CM1 (LOS, ~5 ns rms)", ChannelModel::Cm1),
@@ -76,16 +90,28 @@ fn main() {
                 target_errors,
                 max_bits,
             );
+            for run in [&rake, &mlse, &single] {
+                total_trials += run.stats.trials;
+                total_wall += run.stats.wall;
+            }
             table.row(vec![
                 format!("{ebn0:.0}"),
                 format!("{:.2e}", bpsk_awgn_ber(ebn0)),
-                format_rate(rake.errors, rake.total),
-                format_rate(mlse.errors, mlse.total),
-                format_rate(single.errors, single.total),
+                format_cell(&rake),
+                format_cell(&mlse),
+                format_cell(&single),
             ]);
         }
         println!("\nchannel: {label}\n{table}");
     }
+
+    println!(
+        "\nengine: {total_trials} packet trials in {:.2} s on {} thread(s) \
+         ({:.0} trials/s); '*' marks runs truncated by the trial budget",
+        total_wall.as_secs_f64(),
+        resolve_threads(None),
+        total_trials as f64 / total_wall.as_secs_f64().max(1e-12),
+    );
 
     println!(
         "expected shape (paper): the programmable RAKE + 4-bit channel estimate\n\

@@ -72,20 +72,26 @@ fn main() {
         notch_enabled: true,
         ..jammed.clone()
     };
-    let mut t2 = Table::new(vec!["condition", "BER"]);
+    let mut t2 = Table::new(vec!["condition", "BER", "stop", "engine"]);
     let c_clean = run_ber_fast(&clean, 32, 60, 120_000);
     let c_jam = run_ber_fast(&jammed, 32, 60, 120_000);
     let c_notch = run_ber_fast(&notched, 32, 60, 120_000);
-    t2.row(vec!["clean".to_string(), format_rate(c_clean.errors, c_clean.total)]);
-    t2.row(vec![
-        "CW interferer (+20 dB)".to_string(),
-        format_rate(c_jam.errors, c_jam.total),
-    ]);
-    t2.row(vec![
-        "interferer + monitor + notch".to_string(),
-        format_rate(c_notch.errors, c_notch.total),
-    ]);
+    for (label, c) in [
+        ("clean", &c_clean),
+        ("CW interferer (+20 dB)", &c_jam),
+        ("interferer + monitor + notch", &c_notch),
+    ] {
+        t2.row(vec![
+            label.to_string(),
+            format_rate(c.errors, c.total),
+            c.stop.to_string(),
+            c.stats.summary(),
+        ]);
+    }
     println!("link impact at Eb/N0 = {ebn0} dB:\n{t2}");
+    if c_clean.stop.truncated() || c_jam.stop.truncated() || c_notch.stop.truncated() {
+        println!("warning: at least one run was truncated by the trial budget");
+    }
 
     let ok = c_jam.rate() > 5.0 * c_clean.rate().max(1e-5)
         && c_notch.rate() < c_jam.rate() / 3.0;

@@ -1,0 +1,142 @@
+//! Smoke — a fast end-to-end sanity check of the Monte-Carlo engine and the
+//! gen2 link (used by `scripts/check.sh smoke`).
+//!
+//! Runs one small AWGN BER point on the parallel engine, re-runs it pinned
+//! to a single worker thread, and exits non-zero unless:
+//!
+//! * both runs finish without exhausting the trial budget (non-truncated);
+//! * the two counters are bit-identical (the engine's determinism contract);
+//! * the measured BER is sane for the operating point.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use uwb_bench::{banner, EXPERIMENT_SEED};
+use uwb_phy::Gen2Config;
+use uwb_platform::link::{
+    run_ber_budgeted, run_packet, run_ber_fast_budgeted, LinkOutcome, LinkScenario, TrialBudget,
+};
+
+/// `smoke --speedup [trials]`: measures trials/sec of the pre-engine runner
+/// behavior (serial loop, tx/rx rebuilt per packet — what `run_ber` did
+/// before the Monte-Carlo port) against the engine-backed `run_ber`
+/// (per-worker cached state, `UWB_THREADS` workers) on the same scenario.
+fn speedup(trials: u64) -> ExitCode {
+    let config = Gen2Config {
+        preamble_repeats: 2,
+        ..Gen2Config::nominal_100mbps()
+    };
+    let scenario = LinkScenario::awgn(config, 6.0, EXPERIMENT_SEED);
+
+    // Before: the old serial loop (run_packet rebuilds the worker per call,
+    // exactly like the pre-port run_ber body).
+    let t0 = Instant::now();
+    let mut serial = LinkOutcome::default();
+    for t in 0..trials {
+        run_packet(&scenario, 24, t, &mut serial);
+    }
+    let before = t0.elapsed();
+    let before_tps = trials as f64 / before.as_secs_f64();
+
+    // After: the engine with the same trial count (no early stop).
+    let run = run_ber_budgeted(
+        &scenario,
+        24,
+        u64::MAX,
+        u64::MAX,
+        TrialBudget { max_trials: trials },
+    );
+    let after_tps = run.stats.trials_per_sec();
+
+    assert_eq!(run.outcome, serial, "engine must reproduce the serial loop");
+    println!(
+        "before (serial, per-trial state): {trials} trials in {:.2} s  ({before_tps:.1} trials/s)",
+        before.as_secs_f64()
+    );
+    println!(
+        "after  (engine, {} thread(s)):    {}  ({:.1} trials/s)",
+        run.stats.threads,
+        run.stats.summary(),
+        after_tps
+    );
+    println!("speedup: {:.2}x", after_tps / before_tps);
+
+    // Fast (BER-only) path rate, for comparison against the pre-PR
+    // `run_ber_fast` (measure the seed commit with the same scenario to get
+    // the "before" number).
+    let fast = run_ber_fast_budgeted(
+        &scenario,
+        24,
+        u64::MAX,
+        u64::MAX,
+        TrialBudget { max_trials: trials },
+    );
+    println!(
+        "fast path (engine, {} thread(s)): {}  ({:.1} trials/s)",
+        fast.stats.threads,
+        fast.stats.summary(),
+        fast.stats.trials_per_sec()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--speedup") {
+        let trials = args
+            .iter()
+            .skip_while(|a| *a != "--speedup")
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(400);
+        return speedup(trials);
+    }
+    println!("{}", banner("S0", "engine + link smoke check", "tier-1 gate"));
+
+    let config = Gen2Config {
+        preamble_repeats: 2,
+        ..Gen2Config::nominal_100mbps()
+    };
+    // 6 dB AWGN: a few errors per thousand bits, so the error target is
+    // reachable well inside the trial budget.
+    let scenario = LinkScenario::awgn(config, 6.0, EXPERIMENT_SEED);
+    let budget = TrialBudget { max_trials: 2_000 };
+    let run = run_ber_fast_budgeted(&scenario, 24, 20, 200_000, budget);
+    println!("parallel : {run}  ({})", run.stats.summary());
+
+    let mut failures = 0u32;
+    if run.stop.truncated() {
+        eprintln!("FAIL: run truncated by the trial budget ({})", run.stats.trials);
+        failures += 1;
+    }
+    if run.total == 0 {
+        eprintln!("FAIL: no bits observed");
+        failures += 1;
+    }
+    let rate = run.rate();
+    if !(rate > 1e-5 && rate < 0.2) {
+        eprintln!("FAIL: BER {rate:.3e} outside the sane window (1e-5, 0.2) for 6 dB AWGN");
+        failures += 1;
+    }
+
+    // Determinism: the same run pinned to one worker thread must agree
+    // bit-for-bit with the free-threaded run above.
+    std::env::set_var("UWB_THREADS", "1");
+    let serial = run_ber_fast_budgeted(&scenario, 24, 20, 200_000, budget);
+    std::env::remove_var("UWB_THREADS");
+    println!("1-thread : {serial}  ({})", serial.stats.summary());
+    if serial.counter != run.counter || serial.stop != run.stop {
+        eprintln!(
+            "FAIL: thread-count dependence: {} threads gave {}, 1 thread gave {}",
+            run.stats.threads, run.counter, serial.counter
+        );
+        failures += 1;
+    }
+
+    if failures == 0 {
+        println!("smoke: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("smoke: {failures} check(s) failed");
+        ExitCode::FAILURE
+    }
+}

@@ -89,8 +89,7 @@ impl CoarseAcquisition {
         let m = self.bank.template_len();
         let max_phase = signal.len().saturating_sub(m);
         let n_phases = search_len.min(max_phase + 1);
-        let phases: Vec<usize> = (0..n_phases).collect();
-        let (outputs, stats) = self.bank.run(signal, &phases);
+        let (outputs, stats) = self.bank.run_prefix(signal, n_phases);
 
         // Normalize each output by window and template energy.
         let tpl_energy: f64 = self

@@ -31,7 +31,6 @@ pub const CHANNEL_BANDWIDTH_MHZ: f64 = 500.0;
 /// # Ok::<(), uwb_phy::PhyError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Channel(usize);
 
 impl Channel {

@@ -12,7 +12,6 @@ use uwb_dsp::Complex;
 
 /// An estimated channel impulse response at sample resolution.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChannelEstimate {
     taps: Vec<Complex>,
 }

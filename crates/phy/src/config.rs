@@ -13,7 +13,6 @@ use uwb_sim::time::{Hertz, SampleRate};
 
 /// Full configuration of a gen2 link.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Gen2Config {
     /// The occupied sub-band.
     pub channel: Channel,

@@ -87,12 +87,48 @@ impl CorrelatorBank {
         (out, stats)
     }
 
+    /// Correlates the contiguous phase range `0..n_phases`, the access
+    /// pattern of a serial acquisition sweep.
+    ///
+    /// Outputs and hardware accounting are the same as
+    /// [`CorrelatorBank::run`] over `(0..n_phases).collect()` — the stats
+    /// model the *hardware* correlator bank (dwells, clocks, MACs), which is
+    /// independent of how this software model evaluates the outputs. For
+    /// large sweeps the contiguous structure lets the model use one FFT
+    /// cross-correlation (`O(N log N)`) instead of `O(phases × m)` direct
+    /// MACs; results agree with the direct form up to floating-point
+    /// rounding.
+    pub fn run_prefix(&self, signal: &[Complex], n_phases: usize) -> (Vec<Complex>, CorrelatorStats) {
+        let m = self.template.len();
+        // Below this work estimate the direct form wins (and stays exactly
+        // bit-identical to `run`, which small unit tests rely on).
+        const FFT_THRESHOLD_MACS: usize = 1 << 15;
+        let use_fft = m > 1 && n_phases.saturating_mul(m) >= FFT_THRESHOLD_MACS;
+        if !use_fft {
+            let phases: Vec<usize> = (0..n_phases).collect();
+            return self.run(signal, &phases);
+        }
+        // Only the first `n_phases + m - 1` samples are ever touched.
+        let needed = (n_phases + m - 1).min(signal.len());
+        let mf = uwb_dsp::correlation::cross_correlate_fft(&signal[..needed], &self.template);
+        let mut out = Vec::with_capacity(n_phases);
+        for p in 0..n_phases {
+            out.push(if p < mf.len() { mf[p] } else { Complex::ZERO });
+        }
+        let dwells = n_phases.div_ceil(self.parallelism);
+        let stats = CorrelatorStats {
+            phases_evaluated: n_phases,
+            clock_cycles: dwells as u64 * m as u64,
+            mac_ops: n_phases as u64 * m as u64 * 4,
+        };
+        (out, stats)
+    }
+
     /// Correlates every phase in `0..signal.len() − template_len + 1`
     /// (a full sliding search).
     pub fn run_full(&self, signal: &[Complex]) -> (Vec<Complex>, CorrelatorStats) {
         let n = signal.len().saturating_sub(self.template.len()) + 1;
-        let phases: Vec<usize> = (0..n).collect();
-        self.run(signal, &phases)
+        self.run_prefix(signal, n)
     }
 
     /// Time in microseconds the search takes on hardware clocked at
@@ -153,6 +189,44 @@ mod tests {
         assert_eq!(s1.clock_cycles / s32.clock_cycles, 32);
         // Total MAC work is the same — parallel hardware, same energy.
         assert_eq!(s1.mac_ops, s32.mac_ops);
+    }
+
+    #[test]
+    fn run_prefix_fft_path_matches_direct() {
+        // 512 phases × 128-tap template clears FFT_THRESHOLD_MACS.
+        let tpl = template(128);
+        let mut sig: Vec<Complex> = (0..800)
+            .map(|i| Complex::cis(0.37 * i as f64) * (0.2 + 0.01 * (i % 17) as f64))
+            .collect();
+        for (i, &t) in tpl.iter().enumerate() {
+            sig[333 + i] += t;
+        }
+        let bank = CorrelatorBank::new(tpl, 8);
+        let n_phases = 512;
+        let (fast, s_fast) = bank.run_prefix(&sig, n_phases);
+        let phases: Vec<usize> = (0..n_phases).collect();
+        let (direct, s_direct) = bank.run(&sig, &phases);
+        assert_eq!(s_fast, s_direct, "hardware accounting must not change");
+        assert_eq!(fast.len(), direct.len());
+        for (a, b) in fast.iter().zip(&direct) {
+            assert!((*a - *b).norm() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn run_prefix_handles_short_signal() {
+        // n_phases extends past the valid range: tail phases must be zero,
+        // on both the direct and FFT paths.
+        let tpl = template(64);
+        let sig = vec![Complex::ONE; 600];
+        let bank = CorrelatorBank::new(tpl, 4);
+        let (out, stats) = bank.run_prefix(&sig, 600); // valid lags: 0..=536
+        assert_eq!(out.len(), 600);
+        assert_eq!(stats.phases_evaluated, 600);
+        assert!(out[536].norm() > 0.0);
+        for z in &out[537..] {
+            assert_eq!(*z, Complex::ZERO);
+        }
     }
 
     #[test]

@@ -8,7 +8,6 @@
 
 /// A rate-1/2 convolutional code defined by two generator polynomials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConvCode {
     /// Constraint length K (memory = K − 1).
     pub constraint_length: u32,

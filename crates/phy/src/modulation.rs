@@ -11,7 +11,6 @@ use uwb_dsp::Complex;
 
 /// A pulse modulation format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Modulation {
     /// Antipodal binary phase-shift keying: ±pulse in a single slot.
     Bpsk,

@@ -26,7 +26,6 @@ pub const MAX_PAYLOAD: usize = 4095;
 
 /// Decoded header contents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Header {
     /// Payload length in bytes (before FEC, excluding the CRC-32).
     pub payload_len: usize,

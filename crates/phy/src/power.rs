@@ -12,7 +12,6 @@ use crate::config::Gen2Config;
 
 /// Energy-per-operation constants (joules).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnergyConstants {
     /// One real multiply-accumulate in a dedicated datapath.
     pub mac: f64,
@@ -38,7 +37,6 @@ impl EnergyConstants {
 
 /// Power class of a block, for the "back end + ADC > half" bookkeeping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PowerClass {
     /// RF/analog blocks (LNA, mixers, synthesizer, filters).
     Analog,
@@ -50,7 +48,6 @@ pub enum PowerClass {
 
 /// One block's contribution.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockPower {
     /// Block name (e.g. "matched filter").
     pub name: String,
@@ -62,7 +59,6 @@ pub struct BlockPower {
 
 /// A complete receiver power breakdown.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerBreakdown {
     /// Per-block figures.
     pub blocks: Vec<BlockPower>,

@@ -86,6 +86,42 @@ impl RakeReceiver {
         }
     }
 
+    /// [`RakeReceiver::combine`] without a precomputed matched-filter
+    /// stream: evaluates the pulse correlation directly from the sample
+    /// record, only at the finger delays actually combined.
+    ///
+    /// `O(fingers × pulse_len)` per symbol instead of an `O(N log N)` FFT
+    /// over the whole record — the dominant cost of the known-timing BER
+    /// path, where only `slots × fingers` matched-filter values are ever
+    /// read. Results match [`RakeReceiver::combine`] over
+    /// `cross_correlate_fft` output up to floating-point rounding.
+    pub fn combine_direct(
+        &self,
+        samples: &[Complex],
+        pulse: &[Complex],
+        prompt: usize,
+    ) -> Complex {
+        // Valid correlation lags: 0 ..= samples.len() - pulse.len(), the
+        // same range `combine` accepts via `idx < mf.len()`.
+        let n_valid = (samples.len() + 1).saturating_sub(pulse.len());
+        let mut acc = Complex::ZERO;
+        for &(d, w) in &self.fingers {
+            let idx = prompt + d;
+            if idx < n_valid {
+                let mut c = Complex::ZERO;
+                for (j, &p) in pulse.iter().enumerate() {
+                    c += samples[idx + j] * p.conj();
+                }
+                acc += c * w;
+            }
+        }
+        if self.total_weight > 0.0 {
+            acc / self.total_weight
+        } else {
+            acc
+        }
+    }
+
     /// The *post-combining* symbol-spaced channel response: the residual
     /// inter-symbol interference the RAKE output still contains when the
     /// delay spread exceeds the symbol period. Tap `l` is

@@ -15,7 +15,6 @@ use uwb_sim::time::SampleRate;
 
 /// A time-of-arrival estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ToaEstimate {
     /// Arrival time in (fractional) samples from the start of the record.
     pub samples: f64,
@@ -112,7 +111,6 @@ impl Default for ToaEstimator {
 
 /// The result of a two-way ranging exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RangingResult {
     /// Estimated one-way distance in metres.
     pub distance_m: f64,
@@ -188,7 +186,7 @@ mod tests {
     fn noisy_toa_within_a_sample() {
         let est = ToaEstimator::new();
         let tpl = template();
-        let mut rng = Rand::new(1);
+        let mut rng = Rand::new(2);
         let sig = delayed_pulse(4.5);
         // Pulse energy 1, noise power 0.01 per sample: ~20 dB matched SNR.
         let noisy = add_awgn_complex(&sig, 0.01, &mut rng);

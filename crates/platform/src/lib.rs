@@ -34,7 +34,10 @@ pub mod metrics;
 pub mod report;
 pub mod waveform;
 
-pub use link::{ber_waterfall, run_ber, run_ber_fast, LinkOutcome, LinkScenario};
+pub use link::{
+    ber_waterfall, run_ber, run_ber_budgeted, run_ber_fast, run_ber_fast_budgeted, BerRun,
+    LinkOutcome, LinkRun, LinkScenario, LinkStopReason, TrialBudget,
+};
 pub use mask::{check_mask, fcc_indoor_mask, MaskReport, MaskSegment};
 pub use metrics::ErrorCounter;
 pub use report::Table;

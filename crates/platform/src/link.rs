@@ -7,12 +7,29 @@
 //! runner builds packets, pushes them through multipath / noise /
 //! interference, runs the gen2 receiver, and accumulates calibrated BER
 //! statistics.
+//!
+//! Since the deterministic parallel Monte-Carlo port, both [`run_ber`] and
+//! [`run_ber_fast`] execute on [`uwb_sim::montecarlo::MonteCarlo`]:
+//!
+//! * trial `t` draws its RNG from
+//!   [`uwb_sim::rng::derive_trial_seed`]`(scenario.seed, t)` (a splitmix64
+//!   mix — the former `seed ^ t * φ64` xor was linear in `t` and reused the
+//!   master seed verbatim for trial 0);
+//! * transmitters / receivers / spectral monitors / notch filters are built
+//!   once per worker thread and reused across trials instead of being
+//!   reconstructed per packet;
+//! * runs that exhaust the trial budget report
+//!   [`LinkStopReason::Truncated`] instead of silently returning a
+//!   truncated estimate (the old runners broke out at 10 000 trials without
+//!   telling anyone);
+//! * results are bit-identical for any worker thread count (`UWB_THREADS`).
 
 use crate::metrics::ErrorCounter;
 use uwb_phy::packet::{decode_payload_bits, reference_payload_bits};
 use uwb_phy::{Gen2Config, Gen2Receiver, Gen2Transmitter, PhyError, SpectralMonitor};
 use uwb_rf::TunableNotch;
 use uwb_sim::awgn::add_awgn_complex;
+use uwb_sim::montecarlo::{Merge, MonteCarlo, RunStats, StopReason};
 use uwb_sim::sv_channel::{ChannelModel, ChannelRealization};
 use uwb_sim::{Interferer, Rand};
 
@@ -29,7 +46,7 @@ pub struct LinkScenario {
     pub interferer: Option<Interferer>,
     /// Engage the spectral monitor + tunable notch against the interferer.
     pub notch_enabled: bool,
-    /// Master seed (forked per packet for reproducibility).
+    /// Master seed (forked per packet via `derive_trial_seed`).
     pub seed: u64,
 }
 
@@ -48,7 +65,7 @@ impl LinkScenario {
 }
 
 /// Accumulated outcome of a BER run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinkOutcome {
     /// Raw (pre-CRC) bit errors over the payload+FCS bits.
     pub ber: ErrorCounter,
@@ -61,150 +78,349 @@ pub struct LinkOutcome {
 }
 
 impl LinkOutcome {
-    /// Packet error rate.
+    /// Packet error rate. `NaN` when no packets were attempted — an empty
+    /// run is *not* an error-free run.
     pub fn per(&self) -> f64 {
         if self.packets == 0 {
-            0.0
+            f64::NAN
         } else {
             1.0 - self.packets_ok as f64 / self.packets as f64
         }
     }
 }
 
-/// Energy per information bit carried by one frame's payload section,
-/// in pulse-energy units (pulse templates are unit energy).
-fn energy_per_info_bit(payload: &[u8], config: &Gen2Config) -> f64 {
-    let frame = uwb_phy::packet::build_frame(payload, config).expect("frame");
-    let slot_energy: f64 = frame.payload.iter().map(|a| a * a).sum();
-    let info_bits = 8.0 * (payload.len() + 4) as f64;
+impl Merge for LinkOutcome {
+    fn merge(&mut self, other: &Self) {
+        self.ber.merge(&other.ber);
+        self.packets += other.packets;
+        self.packets_ok += other.packets_ok;
+        self.sync_failures += other.sync_failures;
+    }
+}
+
+/// Why a BER run ended — the old runners silently broke out of the loop at
+/// 10 000 trials; now the condition is explicit and surfaced to callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkStopReason {
+    /// Accumulated `target_errors` bit errors: the estimate has its design
+    /// confidence.
+    TargetErrors,
+    /// Hit `max_bits` observed bits before the error target.
+    BitBudget,
+    /// Ran out of trials before either criterion — the estimate is
+    /// truncated and should not be reported as a clean statistic.
+    Truncated,
+}
+
+impl LinkStopReason {
+    /// `true` when the run exhausted its trial budget.
+    pub fn truncated(&self) -> bool {
+        matches!(self, LinkStopReason::Truncated)
+    }
+}
+
+impl std::fmt::Display for LinkStopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkStopReason::TargetErrors => write!(f, "target-errors"),
+            LinkStopReason::BitBudget => write!(f, "bit-budget"),
+            LinkStopReason::Truncated => write!(f, "truncated"),
+        }
+    }
+}
+
+/// Trial budget for a BER run (replaces the old hard-coded, silent 10 000
+/// trial cap).
+#[derive(Debug, Clone, Copy)]
+pub struct TrialBudget {
+    /// Maximum packets to simulate before declaring the run truncated.
+    pub max_trials: u64,
+}
+
+impl Default for TrialBudget {
+    fn default() -> Self {
+        // 10x the old silent cap: with per-worker cached state and N
+        // threads this is still far cheaper than the old serial loop.
+        TrialBudget {
+            max_trials: 100_000,
+        }
+    }
+}
+
+/// Result of [`run_ber_fast`]: the BER counter plus run metadata.
+///
+/// Derefs to [`ErrorCounter`] so existing call sites (`c.rate()`,
+/// `c.errors`, `format!("{c}")`) keep working unchanged.
+#[derive(Debug, Clone)]
+pub struct BerRun {
+    /// The accumulated bit-error counter.
+    pub counter: ErrorCounter,
+    /// Why the run ended.
+    pub stop: LinkStopReason,
+    /// Engine statistics (trials, wall time, threads, trials/sec).
+    pub stats: RunStats,
+}
+
+impl std::ops::Deref for BerRun {
+    type Target = ErrorCounter;
+    fn deref(&self) -> &ErrorCounter {
+        &self.counter
+    }
+}
+
+impl std::fmt::Display for BerRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.counter, self.stop)
+    }
+}
+
+/// Result of [`run_ber`]: the full link outcome plus run metadata.
+///
+/// Derefs to [`LinkOutcome`] so existing call sites keep working unchanged.
+#[derive(Debug, Clone)]
+pub struct LinkRun {
+    /// The accumulated link outcome (BER + packet + sync counters).
+    pub outcome: LinkOutcome,
+    /// Why the run ended.
+    pub stop: LinkStopReason,
+    /// Engine statistics (trials, wall time, threads, trials/sec).
+    pub stats: RunStats,
+}
+
+impl std::ops::Deref for LinkRun {
+    type Target = LinkOutcome;
+    fn deref(&self) -> &LinkOutcome {
+        &self.outcome
+    }
+}
+
+/// Energy per information bit carried by one frame's payload section, in
+/// pulse-energy units (pulse templates are unit energy). Reads the slot
+/// amplitudes off the already-built frame — the old runner rebuilt the
+/// entire frame (CRC, FEC, spreading) a second time just to compute this.
+fn energy_per_info_bit(slots: &uwb_phy::packet::FrameSlots, payload_len: usize) -> f64 {
+    let slot_energy: f64 = slots.payload.iter().map(|a| a * a).sum();
+    let info_bits = 8.0 * (payload_len + 4) as f64;
     slot_energy / info_bits
+}
+
+/// Per-worker cached state: everything that does not depend on the trial
+/// index is built once per worker thread and reused across trials. The old
+/// runners rebuilt the transmitter/receiver (and, per trial, the spectral
+/// monitor and notch filter) for every packet.
+struct LinkWorker {
+    tx: Gen2Transmitter,
+    rx: Gen2Receiver,
+    monitor: SpectralMonitor,
+    notch: TunableNotch,
+}
+
+impl LinkWorker {
+    fn new(scenario: &LinkScenario) -> Self {
+        let config = &scenario.config;
+        LinkWorker {
+            tx: Gen2Transmitter::new(config.clone()).expect("tx config"),
+            rx: Gen2Receiver::new(config.clone()).expect("rx config"),
+            monitor: SpectralMonitor::new(),
+            notch: TunableNotch::new(config.sample_rate, 30.0),
+        }
+    }
+
+    /// Synthesizes one impaired packet record and returns it with its
+    /// payload and known slot-0 start (the shared front half of both the
+    /// BER-only and the full-acquisition paths).
+    fn synthesize(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        rng: &mut Rand,
+    ) -> (Vec<u8>, Vec<uwb_dsp::complex::Complex>, usize) {
+        let config = &scenario.config;
+        let mut payload = vec![0u8; payload_len];
+        rng.fill_bytes(&mut payload);
+        let burst = self.tx.transmit_packet(&payload).expect("payload size");
+
+        // Channel.
+        let fs = config.sample_rate;
+        let ch = ChannelRealization::generate(scenario.channel, rng);
+        let mut samples = ch.apply(&burst.samples, fs);
+
+        // Interference.
+        if let Some(intf) = &scenario.interferer {
+            samples = intf.add_to(&samples, fs.as_hz(), rng);
+        }
+
+        // Noise calibrated to Eb/N0 on information bits.
+        let eb = energy_per_info_bit(&burst.slots, payload.len());
+        let n0 = eb / uwb_dsp::math::db_to_pow(scenario.ebn0_db);
+        samples = add_awgn_complex(&samples, n0, rng);
+
+        // Optional spectral monitoring + notch (the paper's interferer
+        // defense). The monitor and filter live in the worker; only the
+        // centre frequency is re-tuned per record.
+        if scenario.notch_enabled {
+            let report = self.monitor.analyze(&samples, fs.as_hz());
+            if report.detected {
+                self.notch.tune(report.frequency);
+                samples = self.notch.process(&samples);
+            }
+        }
+
+        let slot0_start = burst.slot0_center - self.tx.pulse().len() / 2;
+        (payload, samples, slot0_start)
+    }
+
+    /// BER-only trial: known-timing statistics path.
+    fn trial_ber(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        rng: &mut Rand,
+        counter: &mut ErrorCounter,
+    ) {
+        let (payload, samples, slot0_start) = self.synthesize(scenario, payload_len, rng);
+        let stats = self
+            .rx
+            .payload_statistics_known_timing(&samples, slot0_start, payload.len());
+        if let Ok(bits) = decode_payload_bits(&stats, payload.len(), &scenario.config) {
+            counter.add_bits(&reference_payload_bits(&payload), &bits);
+        }
+    }
+
+    /// Full trial: BER path plus full-acquisition packet path.
+    fn trial_full(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        rng: &mut Rand,
+        outcome: &mut LinkOutcome,
+    ) {
+        let (payload, samples, slot0_start) = self.synthesize(scenario, payload_len, rng);
+
+        // --- BER path: known timing. ---
+        let stats = self
+            .rx
+            .payload_statistics_known_timing(&samples, slot0_start, payload.len());
+        if let Ok(bits) = decode_payload_bits(&stats, payload.len(), &scenario.config) {
+            outcome.ber.add_bits(&reference_payload_bits(&payload), &bits);
+        }
+
+        // --- Packet path: full acquisition. ---
+        outcome.packets += 1;
+        match self.rx.receive_packet(&samples) {
+            Ok(pkt) if pkt.payload == payload => outcome.packets_ok += 1,
+            Ok(_) => {}
+            Err(PhyError::SyncFailed) => outcome.sync_failures += 1,
+            Err(_) => {}
+        }
+    }
+}
+
+/// Maps the engine's stop reason onto the link-level one by inspecting the
+/// counter that triggered the predicate.
+fn classify_stop(reason: StopReason, c: &ErrorCounter, target_errors: u64) -> LinkStopReason {
+    match reason {
+        StopReason::TrialBudgetExhausted => LinkStopReason::Truncated,
+        StopReason::TargetReached if c.errors >= target_errors => LinkStopReason::TargetErrors,
+        StopReason::TargetReached => LinkStopReason::BitBudget,
+    }
 }
 
 /// Runs one packet through the scenario, updating `outcome`.
 ///
 /// Uses the *known-timing* statistics path for the BER counter (so every
 /// payload bit contributes even when the CRC fails) and the full
-/// acquisition path for the packet/sync counters.
+/// acquisition path for the packet/sync counters. Trial `trial` runs on
+/// `derive_trial_seed(scenario.seed, trial)` — identical to what the
+/// parallel engine feeds the same trial index.
 pub fn run_packet(
     scenario: &LinkScenario,
     payload_len: usize,
     trial: u64,
     outcome: &mut LinkOutcome,
 ) {
-    let mut rng = Rand::new(scenario.seed ^ trial.wrapping_mul(0x9E3779B97F4A7C15));
-    let config = &scenario.config;
-    let tx = Gen2Transmitter::new(config.clone()).expect("tx config");
-    let rx = Gen2Receiver::new(config.clone()).expect("rx config");
-
-    let mut payload = vec![0u8; payload_len];
-    rng.fill_bytes(&mut payload);
-    let burst = tx.transmit_packet(&payload).expect("payload size");
-
-    // Channel.
-    let fs = config.sample_rate;
-    let ch = ChannelRealization::generate(scenario.channel, &mut rng);
-    let mut samples = ch.apply(&burst.samples, fs);
-
-    // Interference.
-    if let Some(intf) = &scenario.interferer {
-        samples = intf.add_to(&samples, fs.as_hz(), &mut rng);
-    }
-
-    // Noise calibrated to Eb/N0 on information bits.
-    let eb = energy_per_info_bit(&payload, config);
-    let n0 = eb / uwb_dsp::math::db_to_pow(scenario.ebn0_db);
-    samples = add_awgn_complex(&samples, n0, &mut rng);
-
-    // Optional spectral monitoring + notch (the paper's interferer defense).
-    if scenario.notch_enabled {
-        let report = SpectralMonitor::new().analyze(&samples, fs.as_hz());
-        if report.detected {
-            let mut notch = TunableNotch::new(fs, 30.0);
-            notch.tune(report.frequency);
-            samples = notch.process(&samples);
-        }
-    }
-
-    // --- BER path: known timing. ---
-    let slot0_start = burst.slot0_center - tx.pulse().len() / 2;
-    let stats = rx.payload_statistics_known_timing(&samples, slot0_start, payload.len());
-    if let Ok(bits) = decode_payload_bits(&stats, payload.len(), config) {
-        outcome.ber.add_bits(&reference_payload_bits(&payload), &bits);
-    }
-
-    // --- Packet path: full acquisition. ---
-    outcome.packets += 1;
-    match rx.receive_packet(&samples) {
-        Ok(pkt) if pkt.payload == payload => outcome.packets_ok += 1,
-        Ok(_) => {}
-        Err(PhyError::SyncFailed) => outcome.sync_failures += 1,
-        Err(_) => {}
-    }
+    let mut rng = Rand::for_trial(scenario.seed, trial);
+    let mut worker = LinkWorker::new(scenario);
+    worker.trial_full(scenario, payload_len, &mut rng, outcome);
 }
 
 /// Runs packets until `target_errors` bit errors accumulate or `max_bits`
-/// bits are observed. Returns the outcome.
+/// bits are observed, in parallel on the deterministic Monte-Carlo engine
+/// ([`TrialBudget::default`] caps the run; see [`run_ber_budgeted`]).
 pub fn run_ber(
     scenario: &LinkScenario,
     payload_len: usize,
     target_errors: u64,
     max_bits: u64,
-) -> LinkOutcome {
-    let mut outcome = LinkOutcome::default();
-    let mut trial = 0u64;
-    while outcome.ber.errors < target_errors && outcome.ber.total < max_bits {
-        run_packet(scenario, payload_len, trial, &mut outcome);
-        trial += 1;
-        if trial > 10_000 {
-            break; // hard stop
-        }
+) -> LinkRun {
+    run_ber_budgeted(
+        scenario,
+        payload_len,
+        target_errors,
+        max_bits,
+        TrialBudget::default(),
+    )
+}
+
+/// [`run_ber`] with an explicit trial budget.
+pub fn run_ber_budgeted(
+    scenario: &LinkScenario,
+    payload_len: usize,
+    target_errors: u64,
+    max_bits: u64,
+    budget: TrialBudget,
+) -> LinkRun {
+    let out = MonteCarlo::new(scenario.seed, budget.max_trials).run(
+        || LinkWorker::new(scenario),
+        |w, _trial, rng, acc: &mut LinkOutcome| w.trial_full(scenario, payload_len, rng, acc),
+        |acc| acc.ber.errors >= target_errors || acc.ber.total >= max_bits,
+    );
+    let stop = classify_stop(out.stats.stop_reason, &out.value.ber, target_errors);
+    LinkRun {
+        outcome: out.value,
+        stop,
+        stats: out.stats,
     }
-    outcome
 }
 
 /// A lighter-weight BER-only runner that skips the full-acquisition packet
-/// path (several times faster; used for wide parameter sweeps).
+/// path (several times faster; used for wide parameter sweeps). Runs in
+/// parallel on the deterministic Monte-Carlo engine: the returned counter
+/// is bit-identical for any `UWB_THREADS`.
 pub fn run_ber_fast(
     scenario: &LinkScenario,
     payload_len: usize,
     target_errors: u64,
     max_bits: u64,
-) -> ErrorCounter {
-    let mut counter = ErrorCounter::new();
-    let config = &scenario.config;
-    let tx = Gen2Transmitter::new(config.clone()).expect("tx config");
-    let rx = Gen2Receiver::new(config.clone()).expect("rx config");
-    let mut trial = 0u64;
-    while counter.errors < target_errors && counter.total < max_bits && trial <= 10_000 {
-        let mut rng = Rand::new(scenario.seed ^ trial.wrapping_mul(0x9E3779B97F4A7C15));
-        let mut payload = vec![0u8; payload_len];
-        rng.fill_bytes(&mut payload);
-        let burst = tx.transmit_packet(&payload).expect("payload size");
-        let fs = config.sample_rate;
-        let ch = ChannelRealization::generate(scenario.channel, &mut rng);
-        let mut samples = ch.apply(&burst.samples, fs);
-        if let Some(intf) = &scenario.interferer {
-            samples = intf.add_to(&samples, fs.as_hz(), &mut rng);
-        }
-        let eb = energy_per_info_bit(&payload, config);
-        let n0 = eb / uwb_dsp::math::db_to_pow(scenario.ebn0_db);
-        samples = add_awgn_complex(&samples, n0, &mut rng);
-        if scenario.notch_enabled {
-            let report = SpectralMonitor::new().analyze(&samples, fs.as_hz());
-            if report.detected {
-                let mut notch = TunableNotch::new(fs, 30.0);
-                notch.tune(report.frequency);
-                samples = notch.process(&samples);
-            }
-        }
-        let slot0_start = burst.slot0_center - tx.pulse().len() / 2;
-        let stats = rx.payload_statistics_known_timing(&samples, slot0_start, payload.len());
-        if let Ok(bits) = decode_payload_bits(&stats, payload.len(), config) {
-            counter.add_bits(&reference_payload_bits(&payload), &bits);
-        }
-        trial += 1;
+) -> BerRun {
+    run_ber_fast_budgeted(
+        scenario,
+        payload_len,
+        target_errors,
+        max_bits,
+        TrialBudget::default(),
+    )
+}
+
+/// [`run_ber_fast`] with an explicit trial budget.
+pub fn run_ber_fast_budgeted(
+    scenario: &LinkScenario,
+    payload_len: usize,
+    target_errors: u64,
+    max_bits: u64,
+    budget: TrialBudget,
+) -> BerRun {
+    let out = MonteCarlo::new(scenario.seed, budget.max_trials).run(
+        || LinkWorker::new(scenario),
+        |w, _trial, rng, acc: &mut ErrorCounter| w.trial_ber(scenario, payload_len, rng, acc),
+        |acc| acc.errors >= target_errors || acc.total >= max_bits,
+    );
+    let stop = classify_stop(out.stats.stop_reason, &out.value, target_errors);
+    BerRun {
+        counter: out.value,
+        stop,
+        stats: out.stats,
     }
-    counter
 }
 
 /// Convenience: sweep Eb/N0 and return `(ebn0_db, measured_ber)` rows.
@@ -256,6 +472,7 @@ mod tests {
         let c = run_ber_fast(&sc, 32, 10, 2_000);
         assert_eq!(c.errors, 0, "{c}");
         assert!(c.total > 0);
+        assert_eq!(c.stop, LinkStopReason::BitBudget);
     }
 
     #[test]
@@ -272,6 +489,8 @@ mod tests {
             "measured {} vs theory {theory} (ratio {ratio})",
             c.rate()
         );
+        assert_eq!(c.stop, LinkStopReason::TargetErrors);
+        assert!(!c.stop.truncated());
     }
 
     #[test]
@@ -293,6 +512,52 @@ mod tests {
         assert_eq!(outcome.packets_ok, 3);
         assert_eq!(outcome.sync_failures, 0);
         assert_eq!(outcome.per(), 0.0);
+    }
+
+    #[test]
+    fn empty_run_per_is_nan_not_zero() {
+        // The old per() returned 0.0 for zero packets — indistinguishable
+        // from a perfect run.
+        let outcome = LinkOutcome::default();
+        assert!(outcome.per().is_nan());
+    }
+
+    #[test]
+    fn truncated_run_is_flagged() {
+        // Error-free scenario with an unreachable error target and a bit
+        // budget larger than the trial budget can supply.
+        let sc = LinkScenario::awgn(small_config(), 15.0, 8);
+        let c = run_ber_fast_budgeted(&sc, 32, 1_000, u64::MAX, TrialBudget { max_trials: 4 });
+        assert_eq!(c.stop, LinkStopReason::Truncated);
+        assert!(c.stop.truncated());
+        assert!(c.stats.truncated());
+        assert_eq!(c.stats.trials, 4);
+        assert!(format!("{c}").contains("truncated"), "{c}");
+    }
+
+    #[test]
+    fn run_ber_matches_run_ber_fast_counters() {
+        // Both runners execute the same per-trial front half on the same
+        // derived seeds; their BER counters must agree bit-for-bit.
+        let sc = LinkScenario::awgn(small_config(), 6.0, 9);
+        let fast = run_ber_fast(&sc, 24, 40, 40_000);
+        let full = run_ber(&sc, 24, 40, 40_000);
+        assert_eq!(full.ber, fast.counter);
+        assert_eq!(full.stop, fast.stop);
+        assert!(full.packets > 0);
+    }
+
+    #[test]
+    fn run_packet_matches_engine_trial() {
+        // The compat single-packet entry point must agree with what the
+        // engine produces for the same trial index.
+        let sc = LinkScenario::awgn(small_config(), 8.0, 11);
+        let mut serial = LinkOutcome::default();
+        for t in 0..4 {
+            run_packet(&sc, 16, t, &mut serial);
+        }
+        let engine = run_ber_budgeted(&sc, 16, u64::MAX, u64::MAX, TrialBudget { max_trials: 4 });
+        assert_eq!(engine.outcome, serial);
     }
 
     #[test]

@@ -85,6 +85,14 @@ impl ErrorCounter {
     }
 }
 
+/// Engine-side merge: lets `ErrorCounter` be the accumulator of a
+/// [`uwb_sim::montecarlo::MonteCarlo`] run.
+impl uwb_sim::montecarlo::Merge for ErrorCounter {
+    fn merge(&mut self, other: &Self) {
+        ErrorCounter::merge(self, other);
+    }
+}
+
 impl std::fmt::Display for ErrorCounter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}/{} = {:.3e}", self.errors, self.total, self.rate())

@@ -12,7 +12,6 @@ use uwb_dsp::{Complex, Nco};
 
 /// A narrowband interferer description.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interferer {
     /// Offset of the interferer from the receiver's center frequency, in Hz
     /// (baseband-equivalent frequency).
@@ -25,7 +24,6 @@ pub struct Interferer {
 
 /// The fine structure of a narrowband interferer.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum InterfererKind {
     /// Pure continuous-wave tone with a random starting phase.
     ContinuousWave,

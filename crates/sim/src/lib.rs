@@ -5,6 +5,8 @@
 //! * [`time`] — `Picoseconds` / `Hertz` / `SampleRate` newtypes
 //! * [`rng`] — seeded, reproducible randomness with Gaussian/Rayleigh/
 //!   exponential sampling
+//! * [`montecarlo`] — deterministic parallel Monte-Carlo engine (bit-identical
+//!   results for any thread count, cooperative early stop)
 //! * [`awgn`] — calibrated additive noise (per-power, per-SNR, per-Eb/N0)
 //! * [`sv_channel`] — IEEE 802.15.3a Saleh–Valenzuela multipath (CM1–CM4),
 //!   covering the paper's "rms delay spread ~20 ns" regime
@@ -31,6 +33,7 @@
 pub mod antenna;
 pub mod awgn;
 pub mod interference;
+pub mod montecarlo;
 pub mod pathloss;
 pub mod rng;
 pub mod sv_channel;
@@ -38,7 +41,8 @@ pub mod time;
 
 pub use antenna::Antenna;
 pub use interference::{Interferer, InterfererKind};
+pub use montecarlo::{Merge, MonteCarlo, RunOutcome, RunStats, StopReason};
 pub use pathloss::LinkBudget;
-pub use rng::Rand;
+pub use rng::{derive_trial_seed, Rand};
 pub use sv_channel::{ChannelModel, ChannelRealization, SvParams, Tap};
 pub use time::{Hertz, Picoseconds, SampleRate};

@@ -1,0 +1,465 @@
+//! Deterministic parallel Monte-Carlo engine.
+//!
+//! Every quantitative claim reproduced from the paper (BER waterfalls, sync
+//! statistics, interferer-rescue curves) is a Monte-Carlo estimate. This
+//! module turns the former one-trial-at-a-time loops into a std-only
+//! work-stealing engine whose merged result is **bit-identical for 1 and N
+//! worker threads**:
+//!
+//! * workers pull fixed-size *chunks* of trial indices from a shared atomic
+//!   counter (`std::thread::scope`, no extra crates);
+//! * each trial gets its own RNG via [`crate::rng::derive_trial_seed`]
+//!   `(master_seed, trial)` — streams never depend on which worker ran the
+//!   trial;
+//! * expensive per-run state (transmitters, receivers, monitors) is built
+//!   once per worker by a `make_state` closure and reused across trials;
+//! * per-chunk partial results are merged through the [`Merge`] trait in
+//!   strict chunk order (an ordered-prefix reduction), and the early-stop
+//!   predicate is evaluated at chunk boundaries of that deterministic
+//!   order — so the set of trials contributing to the final result does not
+//!   depend on thread count or scheduling. Workers that overrun the stop
+//!   point have their chunks discarded.
+//!
+//! Thread count comes from the `UWB_THREADS` environment variable (0 or
+//! unset → `std::thread::available_parallelism`), overridable per run with
+//! [`MonteCarlo::threads`].
+
+use crate::rng::Rand;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Result types that can be combined across trials / chunks / workers.
+///
+/// `merge` must be associative, and the engine guarantees it is only ever
+/// applied in ascending trial order, so plain counter addition satisfies the
+/// bit-identical determinism contract.
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: &Self);
+}
+
+/// Why a Monte-Carlo run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The stop predicate became true on the deterministic merge prefix.
+    TargetReached,
+    /// All `max_trials` trials ran without the predicate firing — the
+    /// estimate is *truncated* by the trial budget and callers must surface
+    /// that instead of reporting a clean statistic.
+    TrialBudgetExhausted,
+}
+
+impl StopReason {
+    /// `true` when the run stopped because the trial budget ran out.
+    pub fn truncated(&self) -> bool {
+        matches!(self, StopReason::TrialBudgetExhausted)
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::TargetReached => write!(f, "target-reached"),
+            StopReason::TrialBudgetExhausted => write!(f, "trial-budget-exhausted"),
+        }
+    }
+}
+
+/// Per-run execution statistics.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Trials contributing to the merged result.
+    pub trials: u64,
+    /// Trials actually executed (≥ `trials`: overrun chunks are discarded).
+    pub trials_executed: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+impl RunStats {
+    /// Contributing trials per wall-clock second.
+    pub fn trials_per_sec(&self) -> f64 {
+        self.trials as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// `true` when the result was cut short by the trial budget.
+    pub fn truncated(&self) -> bool {
+        self.stop_reason.truncated()
+    }
+
+    /// One-line human summary (`trials … in … ms, … trials/s, reason`).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} trials in {:.1} ms on {} thread{} ({:.0} trials/s, {})",
+            self.trials,
+            self.wall.as_secs_f64() * 1e3,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.trials_per_sec(),
+            self.stop_reason,
+        )
+    }
+
+    /// Compact JSON record for BENCH tracking (hand-rolled — no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"trials\":{},\"trials_executed\":{},\"wall_ms\":{:.3},\"threads\":{},\"trials_per_sec\":{:.1},\"stop_reason\":\"{}\",\"truncated\":{}}}",
+            self.trials,
+            self.trials_executed,
+            self.wall.as_secs_f64() * 1e3,
+            self.threads,
+            self.trials_per_sec(),
+            self.stop_reason,
+            self.truncated(),
+        )
+    }
+}
+
+/// A merged Monte-Carlo result together with its run statistics.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<R> {
+    /// The deterministically merged result.
+    pub value: R,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+/// Resolves the worker count: explicit override, else `UWB_THREADS`, else
+/// `available_parallelism`.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("UWB_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A configured Monte-Carlo run (see the module docs for the guarantees).
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    /// Master seed; trial `t` runs on `derive_trial_seed(master_seed, t)`.
+    pub master_seed: u64,
+    /// Hard trial budget (the run never executes more than this many
+    /// contributing trials).
+    pub max_trials: u64,
+    /// Trials per scheduling chunk. The stop predicate is evaluated at
+    /// chunk boundaries, so smaller chunks stop closer to the target at the
+    /// cost of more scheduling overhead.
+    pub chunk_size: u64,
+    /// Explicit thread count (`None` → `UWB_THREADS` / available cores).
+    pub threads: Option<usize>,
+}
+
+impl MonteCarlo {
+    /// A run with the default chunk size (8) and environment thread count.
+    pub fn new(master_seed: u64, max_trials: u64) -> Self {
+        MonteCarlo {
+            master_seed,
+            max_trials,
+            chunk_size: 8,
+            threads: None,
+        }
+    }
+
+    /// Overrides the worker thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Overrides the chunk size.
+    pub fn chunk_size(mut self, n: u64) -> Self {
+        self.chunk_size = n.max(1);
+        self
+    }
+
+    /// Runs the Monte-Carlo loop.
+    ///
+    /// * `make_state` builds per-worker cached state (transmitters,
+    ///   receivers, scratch buffers) once per worker thread;
+    /// * `trial(state, trial_index, rng, acc)` runs one trial, accumulating
+    ///   into `acc` (a chunk-local `R`); it must be deterministic given the
+    ///   trial index and RNG, and must not carry information between trials
+    ///   through `state`;
+    /// * `stop(&merged)` is evaluated on the deterministic merge prefix
+    ///   after each chunk; once true, the run winds down cooperatively.
+    ///
+    /// Returns the merged result and [`RunStats`]. The result is
+    /// bit-identical for any thread count.
+    pub fn run<R, S, FS, FT, FP>(&self, make_state: FS, trial: FT, stop: FP) -> RunOutcome<R>
+    where
+        R: Merge + Default + Send,
+        FS: Fn() -> S + Sync,
+        FT: Fn(&mut S, u64, &mut Rand, &mut R) + Sync,
+        FP: Fn(&R) -> bool + Sync,
+    {
+        let t0 = Instant::now();
+        let threads = resolve_threads(self.threads);
+        let chunk = self.chunk_size.max(1);
+        let n_chunks = self.max_trials.div_ceil(chunk);
+
+        let next_chunk = AtomicU64::new(0);
+        // Chunk index after which no merging happens (u64::MAX = undecided).
+        let stop_chunk = AtomicU64::new(u64::MAX);
+        let executed = AtomicU64::new(0);
+        let reducer = Mutex::new(Reducer::<R> {
+            pending: BTreeMap::new(),
+            merged: R::default(),
+            frontier: 0,
+            stopped_at: None,
+        });
+
+        let worker = || {
+            let mut state = make_state();
+            loop {
+                let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks || c > stop_chunk.load(Ordering::Relaxed) {
+                    break;
+                }
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(self.max_trials);
+                let mut local = R::default();
+                for t in lo..hi {
+                    let mut rng = Rand::for_trial(self.master_seed, t);
+                    trial(&mut state, t, &mut rng, &mut local);
+                }
+                executed.fetch_add(hi - lo, Ordering::Relaxed);
+                let mut red = reducer.lock().expect("reducer poisoned");
+                if red.stopped_at.is_some() {
+                    // Result already decided; drop the overrun chunk.
+                    continue;
+                }
+                red.pending.insert(c, local);
+                // Advance the deterministic merge frontier.
+                loop {
+                    let frontier = red.frontier;
+                    let Some(r) = red.pending.remove(&frontier) else {
+                        break;
+                    };
+                    red.merged.merge(&r);
+                    let at = red.frontier;
+                    red.frontier += 1;
+                    if stop(&red.merged) {
+                        red.stopped_at = Some(at);
+                        stop_chunk.store(at, Ordering::Relaxed);
+                        red.pending.clear();
+                        break;
+                    }
+                }
+            }
+        };
+
+        if threads <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(worker);
+                }
+            });
+        }
+
+        let red = reducer.into_inner().expect("reducer poisoned");
+        let (stop_reason, trials) = match red.stopped_at {
+            Some(k) => (
+                StopReason::TargetReached,
+                ((k + 1) * chunk).min(self.max_trials),
+            ),
+            None => (StopReason::TrialBudgetExhausted, self.max_trials),
+        };
+        RunOutcome {
+            value: red.merged,
+            stats: RunStats {
+                trials,
+                trials_executed: executed.load(Ordering::Relaxed),
+                wall: t0.elapsed(),
+                threads,
+                stop_reason,
+            },
+        }
+    }
+}
+
+struct Reducer<R> {
+    pending: BTreeMap<u64, R>,
+    merged: R,
+    frontier: u64,
+    stopped_at: Option<u64>,
+}
+
+impl Merge for u64 {
+    fn merge(&mut self, other: &Self) {
+        *self += other;
+    }
+}
+
+impl Merge for f64 {
+    fn merge(&mut self, other: &Self) {
+        *self += other;
+    }
+}
+
+impl<A: Merge, B: Merge> Merge for (A, B) {
+    fn merge(&mut self, other: &Self) {
+        self.0.merge(&other.0);
+        self.1.merge(&other.1);
+    }
+}
+
+impl<T: Clone> Merge for Vec<T> {
+    /// Concatenation — chunk order makes this deterministic too.
+    fn merge(&mut self, other: &Self) {
+        self.extend_from_slice(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default, Clone, PartialEq, Eq)]
+    struct Tally {
+        trials: u64,
+        hits: u64,
+        checksum: u64,
+    }
+
+    impl Merge for Tally {
+        fn merge(&mut self, other: &Self) {
+            self.trials += other.trials;
+            self.hits += other.hits;
+            self.checksum = self.checksum.wrapping_add(other.checksum);
+        }
+    }
+
+    fn toy_run(threads: usize, max_trials: u64, target_hits: u64) -> (Tally, RunStats) {
+        let out = MonteCarlo::new(42, max_trials).threads(threads).run(
+            || (),
+            |_, trial, rng, acc: &mut Tally| {
+                acc.trials += 1;
+                if rng.chance(0.125) {
+                    acc.hits += 1;
+                }
+                acc.checksum = acc.checksum.wrapping_add(rng.next_u64() ^ trial);
+            },
+            |acc| acc.hits >= target_hits,
+        );
+        (out.value, out.stats)
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let (v1, s1) = toy_run(1, 10_000, 64);
+        for threads in [2, 4, 8] {
+            let (vn, sn) = toy_run(threads, 10_000, 64);
+            assert_eq!(v1, vn, "{threads} threads");
+            assert_eq!(s1.trials, sn.trials);
+            assert_eq!(s1.stop_reason, sn.stop_reason);
+        }
+    }
+
+    #[test]
+    fn early_stop_reports_target_reached() {
+        let (v, s) = toy_run(4, 100_000, 10);
+        assert_eq!(s.stop_reason, StopReason::TargetReached);
+        assert!(!s.truncated());
+        assert!(v.hits >= 10);
+        assert!(s.trials < 100_000, "stop did not engage: {}", s.trials);
+        assert_eq!(v.trials, s.trials, "merged trials must match stats");
+        assert!(s.trials_executed >= s.trials);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_flagged() {
+        // Impossible target: predicate never fires.
+        let (v, s) = toy_run(3, 500, u64::MAX);
+        assert_eq!(s.stop_reason, StopReason::TrialBudgetExhausted);
+        assert!(s.truncated());
+        assert_eq!(s.trials, 500);
+        assert_eq!(v.trials, 500);
+    }
+
+    #[test]
+    fn chunk_size_one_matches_serial_trial_granularity() {
+        let run = |threads: usize| {
+            MonteCarlo::new(7, 1_000)
+                .chunk_size(1)
+                .threads(threads)
+                .run(
+                    || (),
+                    |_, _, rng, acc: &mut Tally| {
+                        acc.trials += 1;
+                        if rng.chance(0.5) {
+                            acc.hits += 1;
+                        }
+                    },
+                    |acc| acc.hits >= 20,
+                )
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.value, b.value);
+        // With chunk 1, the merged prefix stops exactly at the trial where
+        // the 20th hit lands.
+        assert_eq!(a.value.hits, 20);
+    }
+
+    #[test]
+    fn worker_state_is_reused_not_shared() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let builds = AtomicU64::new(0);
+        let out = MonteCarlo::new(1, 64).threads(2).run(
+            || builds.fetch_add(1, Ordering::Relaxed),
+            |_, _, _, acc: &mut u64| *acc += 1,
+            |_| false,
+        );
+        assert_eq!(out.value, 64);
+        let n = builds.load(Ordering::Relaxed);
+        assert!(n >= 1 && n <= 2, "state built once per worker, got {n}");
+    }
+
+    #[test]
+    fn stats_formatting() {
+        let (_, s) = toy_run(1, 100, 5);
+        let json = s.to_json();
+        assert!(json.contains("\"trials\":"), "{json}");
+        assert!(json.contains("\"stop_reason\":\"target-reached\""), "{json}");
+        assert!(s.summary().contains("trials/s"));
+        assert!(s.trials_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn env_threads_parsing() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn vec_merge_preserves_trial_order() {
+        let run = |threads: usize| {
+            MonteCarlo::new(5, 100).threads(threads).run(
+                || (),
+                |_, trial, _, acc: &mut Vec<u64>| acc.push(trial),
+                |_| false,
+            )
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.value, (0..100).collect::<Vec<u64>>());
+        assert_eq!(a.value, b.value);
+    }
+}

@@ -17,7 +17,6 @@ use uwb_dsp::Complex;
 
 /// Channel environment selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ChannelModel {
     /// AWGN only — single unit tap, no multipath.
     Awgn,
@@ -97,7 +96,6 @@ impl std::fmt::Display for ChannelModel {
 
 /// Saleh–Valenzuela model parameters (rates in 1/ns, decays in ns).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SvParams {
     /// Cluster arrival rate Λ (1/ns).
     pub cluster_rate: f64,
@@ -113,7 +111,6 @@ pub struct SvParams {
 
 /// A continuous-time tap: `(delay in ns, complex gain)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tap {
     /// Arrival delay in nanoseconds relative to the first path.
     pub delay_ns: f64,
@@ -123,7 +120,6 @@ pub struct Tap {
 
 /// A realized channel: continuous taps plus helpers to discretize and apply.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChannelRealization {
     taps: Vec<Tap>,
 }
@@ -262,6 +258,11 @@ impl ChannelRealization {
     /// ("same" length as `input` plus the channel tail).
     pub fn apply(&self, input: &[Complex], fs: SampleRate) -> Vec<Complex> {
         let h = self.discretize(fs);
+        if h.len() == 1 {
+            // Single-tap channel (e.g. AWGN's identity): plain scaling —
+            // exact, and orders of magnitude cheaper than the FFT path.
+            return input.iter().map(|&z| z * h[0]).collect();
+        }
         uwb_dsp::fft::fft_convolve(input, &h)
     }
 

@@ -14,7 +14,6 @@ use std::ops::{Add, Div, Mul, Sub};
 /// assert_eq!(pulse.as_ps(), 2000.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Picoseconds(f64);
 
 impl Picoseconds {
@@ -106,7 +105,6 @@ impl Div<f64> for Picoseconds {
 
 /// A frequency in hertz.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hertz(f64);
 
 impl Hertz {
@@ -181,7 +179,6 @@ impl Mul<f64> for Hertz {
 
 /// A sampling rate in samples per second.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SampleRate(f64);
 
 impl SampleRate {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 gate and fast sanity checks.
+#
+# Usage:
+#   scripts/check.sh          release build + the root test suite (tier-1)
+#   scripts/check.sh smoke    build + run the end-to-end engine/link smoke bin
+#   scripts/check.sh all      tier-1, then the whole workspace's tests, then smoke
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-tier1}"
+
+tier1() {
+    echo "== tier-1: cargo build --release =="
+    cargo build --release
+    echo "== tier-1: cargo test -q =="
+    cargo test -q
+}
+
+smoke() {
+    echo "== smoke: engine + link sanity =="
+    cargo build --release -p uwb-bench --bin smoke
+    ./target/release/smoke
+}
+
+case "$mode" in
+tier1)
+    tier1
+    ;;
+smoke)
+    smoke
+    ;;
+all)
+    tier1
+    echo "== workspace: cargo test -q --workspace =="
+    cargo test -q --workspace
+    smoke
+    ;;
+*)
+    echo "usage: scripts/check.sh [tier1|smoke|all]" >&2
+    exit 2
+    ;;
+esac
+echo "check.sh: OK ($mode)"

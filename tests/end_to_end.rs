@@ -62,7 +62,7 @@ fn severe_multipath_cm3_with_more_fingers() {
         preamble_repeats: 3,
         ..Gen2Config::nominal_100mbps()
     };
-    round_trip(&config, &[0x12; 40], ChannelModel::Cm3, 0.05, 4);
+    round_trip(&config, &[0x12; 40], ChannelModel::Cm3, 0.05, 5);
 }
 
 #[test]

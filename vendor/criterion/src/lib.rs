@@ -1,0 +1,261 @@
+//! Std-only stand-in for the `criterion` crate.
+//!
+//! Implements the subset used by `crates/bench/benches/*`: groups, ids,
+//! throughput annotation, and `Bencher::iter`. Each benchmark runs
+//! `sample_size` timed iterations (after one warm-up) and reports
+//! min / median / mean wall time per iteration, plus element throughput
+//! when annotated. Passing `--test` (as `cargo test --benches` does) or
+//! setting `CRITERION_QUICK=1` runs a single iteration per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        self.timings.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.timings.push(t0.elapsed());
+        }
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion {
+            sample_size: 30,
+            quick,
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name.to_string(), None, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let samples = if self.quick { 1 } else { self.sample_size };
+        let mut b = Bencher {
+            samples,
+            timings: Vec::new(),
+        };
+        f(&mut b);
+        if b.timings.is_empty() {
+            println!("{label:<48} (no measurement)");
+            return;
+        }
+        b.timings.sort_unstable();
+        let min = b.timings[0];
+        let median = b.timings[b.timings.len() / 2];
+        let mean = b.timings.iter().sum::<Duration>() / b.timings.len() as u32;
+        let tput = match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / median.as_secs_f64().max(1e-12);
+                format!("  {:.3} Melem/s", per_sec / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / median.as_secs_f64().max(1e-12);
+                format!("  {:.3} MiB/s", per_sec / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<48} min {} / median {} / mean {}{tput}",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        let t = self.throughput;
+        self.c.run_one(label, t, f);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input reference.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        let t = self.throughput;
+        self.c.run_one(label, t, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, optionally with a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran >= 1);
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("f", 1), &5u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 42).id, "f/42");
+        assert_eq!(BenchmarkId::from_parameter("CM1").id, "CM1");
+    }
+}

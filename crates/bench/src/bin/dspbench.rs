@@ -1,0 +1,374 @@
+//! dspbench — tracked micro-benchmarks for the zero-allocation DSP kernel
+//! layer (the perf anchor for `scripts/check.sh bench`).
+//!
+//! Measures the FFT/correlation kernels that dominate the Monte-Carlo link
+//! trials, plus single-threaded end-to-end trial throughput, and emits a
+//! machine-readable JSON report:
+//!
+//! ```text
+//! cargo run -p uwb-bench --release --bin dspbench -- --out BENCH_dsp.json
+//! cargo run -p uwb-bench --release --bin dspbench -- --check BENCH_dsp.json --tol 15
+//! ```
+//!
+//! `--check` exits non-zero if any kernel regresses by more than `--tol`
+//! percent (default 15) against the committed baseline. Absolute timings
+//! move between machines; the regression gate therefore compares *this*
+//! machine's fresh run against the committed numbers only when asked to
+//! (CI runs on stable hardware; see EXPERIMENTS.md for methodology).
+//!
+//! The JSON schema (`uwb-dspbench-v1`) is flat on purpose so the checker
+//! needs no real JSON parser:
+//!
+//! ```json
+//! {
+//!   "schema": "uwb-dspbench-v1",
+//!   "kernels_us": { "<name>": <median-microseconds-per-call>, ... },
+//!   "throughput_tps": { "full_path": <trials/s>, "fast_path": <trials/s> },
+//!   "fft_plans_built": <count>
+//! }
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+use uwb_bench::EXPERIMENT_SEED;
+use uwb_dsp::correlation::{circular_autocorrelation, cross_correlate_fft_into};
+use uwb_dsp::fft::{cached_plan, fft_convolve_real_into, fft_plans_built, Fft};
+use uwb_dsp::{Complex, DspScratch};
+use uwb_phy::Gen2Config;
+use uwb_platform::link::{LinkOutcome, LinkScenario, LinkWorker};
+use uwb_platform::ErrorCounter;
+use uwb_sim::Rand;
+
+/// One measured kernel: name + median microseconds per call.
+struct Kernel {
+    name: &'static str,
+    us_per_call: f64,
+}
+
+/// Times `f` for `iters` calls, repeated `reps` times; returns the *best*
+/// per-call time in microseconds (minimum is the standard noise-robust
+/// statistic for micro-benchmarks: all noise is additive).
+fn time_us<F: FnMut()>(iters: usize, reps: usize, mut f: F) -> f64 {
+    // Warm-up: populate caches (FFT plans, scratch pools, allocator).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        best = best.min(dt);
+    }
+    best
+}
+
+fn noise_complex(n: usize, seed: u64) -> Vec<Complex> {
+    let mut rng = Rand::new(seed);
+    (0..n)
+        .map(|_| Complex::new(rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)))
+        .collect()
+}
+
+fn noise_real(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rand::new(seed);
+    (0..n).map(|_| rng.uniform_in(-1.0, 1.0)).collect()
+}
+
+fn run_kernels() -> Vec<Kernel> {
+    let mut out = Vec::new();
+
+    // 1. 4096-point forward FFT through the thread-local plan cache,
+    //    in place (the acquisition inner loop shape).
+    {
+        let plan = cached_plan(4096);
+        let mut buf = noise_complex(4096, 1);
+        out.push(Kernel {
+            name: "fft4096_planned_fwd",
+            us_per_call: time_us(100, 15, || {
+                plan.forward_in_place(&mut buf);
+            }),
+        });
+    }
+
+    // 2. The same transform with the plan rebuilt per call — what every
+    //    FFT cost before the plan cache (kept as a reference point).
+    {
+        let mut buf = noise_complex(4096, 2);
+        out.push(Kernel {
+            name: "fft4096_unplanned_fwd",
+            us_per_call: time_us(50, 15, || {
+                let plan = Fft::new(4096);
+                plan.forward_in_place(&mut buf);
+            }),
+        });
+    }
+
+    // 3. Packed real convolution (pulse shaping / template construction
+    //    shape): 2000-sample record against a 257-tap pulse.
+    {
+        let a = noise_real(2000, 3);
+        let b = noise_real(257, 4);
+        let mut scratch = DspScratch::new();
+        let mut conv = Vec::new();
+        out.push(Kernel {
+            name: "fft_convolve_real_2000x257",
+            us_per_call: time_us(50, 15, || {
+                fft_convolve_real_into(&a, &b, &mut scratch, &mut conv);
+            }),
+        });
+    }
+
+    // 4. FFT cross-correlation at the channel-estimation shape:
+    //    2555-sample record against a 1277-sample preamble template.
+    {
+        let sig = noise_complex(2555, 5);
+        let tpl = noise_complex(1277, 6);
+        let mut scratch = DspScratch::new();
+        let mut corr = Vec::new();
+        out.push(Kernel {
+            name: "cross_correlate_fft_2555x1277",
+            us_per_call: time_us(30, 15, || {
+                cross_correlate_fft_into(&sig, &tpl, &mut scratch, &mut corr);
+            }),
+        });
+    }
+
+    // 5. Circular autocorrelation of a 1024-chip code (PN-code analysis
+    //    path; O(n²) before the FFT fold).
+    {
+        let x = noise_real(1024, 7);
+        out.push(Kernel {
+            name: "circular_autocorr_1024",
+            us_per_call: time_us(15, 15, || {
+                let _ = circular_autocorrelation(&x);
+            }),
+        });
+    }
+
+    out
+}
+
+/// Single-threaded end-to-end trial throughput on the smoke scenario
+/// (AWGN, preamble_repeats = 2, Eb/N0 = 6 dB, 24-byte payload) — one
+/// worker driven directly, exactly what each Monte-Carlo thread executes.
+///
+/// Returns `(full_tps, fast_tps, plans_built)` where `plans_built` counts
+/// the FFT plans constructed over the whole section *including* warm-up —
+/// in the steady state this must equal the number of distinct transform
+/// sizes the link path touches (each size planned exactly once, never per
+/// trial), so the JSON number stays O(1) no matter how many trials run.
+fn run_throughput(trials: u64) -> (f64, f64, u64) {
+    let config = Gen2Config {
+        preamble_repeats: 2,
+        ..Gen2Config::nominal_100mbps()
+    };
+    let scenario = LinkScenario::awgn(config, 6.0, EXPERIMENT_SEED);
+    let mut worker = LinkWorker::new(&scenario);
+    let plans_before = fft_plans_built();
+
+    // Full path (acquisition + packet decode + BER).
+    let mut outcome = LinkOutcome::default();
+    // Warm the buffers so the measurement sees the steady state.
+    let mut rng = Rand::for_trial(scenario.seed, 0);
+    worker.trial_full(&scenario, 24, &mut rng, &mut outcome);
+    let t0 = Instant::now();
+    for t in 0..trials {
+        let mut rng = Rand::for_trial(scenario.seed, t);
+        worker.trial_full(&scenario, 24, &mut rng, &mut outcome);
+    }
+    let full_tps = trials as f64 / t0.elapsed().as_secs_f64();
+
+    // Fast path (known-timing BER only).
+    let mut counter = ErrorCounter::default();
+    let mut rng = Rand::for_trial(scenario.seed, 0);
+    worker.trial_ber(&scenario, 24, &mut rng, &mut counter);
+    let t0 = Instant::now();
+    for t in 0..trials {
+        let mut rng = Rand::for_trial(scenario.seed, t);
+        worker.trial_ber(&scenario, 24, &mut rng, &mut counter);
+    }
+    let fast_tps = trials as f64 / t0.elapsed().as_secs_f64();
+
+    (full_tps, fast_tps, fft_plans_built() - plans_before)
+}
+
+fn render_json(kernels: &[Kernel], full_tps: f64, fast_tps: f64, plans_built: u64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"uwb-dspbench-v1\",\n");
+    s.push_str("  \"kernels_us\": {\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let comma = if i + 1 == kernels.len() { "" } else { "," };
+        s.push_str(&format!("    \"{}\": {:.3}{comma}\n", k.name, k.us_per_call));
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"throughput_tps\": {\n");
+    s.push_str(&format!("    \"full_path\": {full_tps:.1},\n"));
+    s.push_str(&format!("    \"fast_path\": {fast_tps:.1}\n"));
+    s.push_str("  },\n");
+    s.push_str(&format!("  \"fft_plans_built\": {plans_built}\n"));
+    s.push_str("}\n");
+    s
+}
+
+/// Pulls every `"name": number` pair out of the flat schema — no general
+/// JSON parser needed (or wanted: the repo vendors no serde).
+fn parse_pairs(json: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let Some(endq) = json[start..].find('"') else {
+                break;
+            };
+            let key = &json[start..start + endq];
+            i = start + endq + 1;
+            // Skip whitespace, expect ':'.
+            while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b':' {
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                    i += 1;
+                }
+                let num_start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || matches!(bytes[i], b'.' | b'-' | b'e' | b'E' | b'+'))
+                {
+                    i += 1;
+                }
+                if let Ok(v) = json[num_start..i].parse::<f64>() {
+                    pairs.push((key.to_string(), v));
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    pairs
+}
+
+fn check_against(baseline_path: &str, current: &str, tol_pct: f64) -> ExitCode {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dspbench: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = parse_pairs(&baseline);
+    let curr = parse_pairs(current);
+    let mut failed = false;
+    println!("{:<34} {:>12} {:>12} {:>9}", "metric", "baseline", "current", "delta");
+    for (key, base_v) in &base {
+        if key == "schema" || key == "fft_plans_built" {
+            continue;
+        }
+        let Some((_, curr_v)) = curr.iter().find(|(k, _)| k == key) else {
+            eprintln!("dspbench: metric {key} missing from current run");
+            failed = true;
+            continue;
+        };
+        // Throughput metrics: bigger is better, but end-to-end trials/s is
+        // too load-sensitive to gate CI on — report it as informational
+        // only. Kernel times (smaller is better) are what the gate enforces.
+        let higher_is_better = matches!(key.as_str(), "full_path" | "fast_path");
+        let delta_pct = if higher_is_better {
+            (base_v - curr_v) / base_v * 100.0
+        } else {
+            (curr_v - base_v) / base_v * 100.0
+        };
+        let verdict = if delta_pct > tol_pct {
+            if higher_is_better {
+                "slower (info)"
+            } else {
+                failed = true;
+                "REGRESSED"
+            }
+        } else {
+            ""
+        };
+        println!(
+            "{key:<34} {base_v:>12.3} {curr_v:>12.3} {delta_pct:>+8.1}% {verdict}"
+        );
+    }
+    if failed {
+        eprintln!("dspbench: kernel regression beyond {tol_pct}% tolerance");
+        ExitCode::FAILURE
+    } else {
+        println!("dspbench: all kernels within {tol_pct}% of baseline");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tol_pct = 15.0;
+    let mut trials = 400u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--check" => {
+                check_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--tol" => {
+                tol_pct = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(tol_pct);
+                i += 2;
+            }
+            "--trials" => {
+                trials = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(trials);
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "dspbench: unknown argument {other}\n\
+                     usage: dspbench [--out PATH] [--check BASELINE [--tol PCT]] [--trials N]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Throughput first, on a cold plan cache, so `fft_plans_built` reports
+    // exactly how many distinct transform sizes the link path planned (each
+    // once). The kernel section would otherwise pre-populate the cache.
+    let (full_tps, fast_tps, plans_built) = run_throughput(trials);
+    let kernels = run_kernels();
+    let json = render_json(&kernels, full_tps, fast_tps, plans_built);
+
+    for k in &kernels {
+        println!("{:<34} {:>10.2} µs/call", k.name, k.us_per_call);
+    }
+    println!("{:<34} {:>10.1} trials/s (1 thread)", "full_path", full_tps);
+    println!("{:<34} {:>10.1} trials/s (1 thread)", "fast_path", fast_tps);
+    println!("{:<34} {:>10}", "fft_plans_built", plans_built);
+
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("dspbench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        return check_against(&path, &json, tol_pct);
+    }
+    ExitCode::SUCCESS
+}

@@ -4,7 +4,11 @@
 //! crate in the workspace:
 //!
 //! * [`Complex`] arithmetic for equivalent-baseband processing
-//! * [`Fft`] — radix-2 FFT with convolution/correlation helpers
+//! * [`Fft`] — radix-2 FFT with convolution/correlation helpers, in-place /
+//!   into-buffer transforms, a thread-local plan cache ([`fft::cached_plan`])
+//!   and a packed real-input convolution path
+//! * [`DspScratch`] — reusable buffer arena for allocation-free steady-state
+//!   kernels
 //! * [`Goertzel`] — O(N) single-bin DFT for cheap narrowband watching
 //! * [`FirFilter`] — windowed-sinc FIR design (lowpass/highpass/bandpass)
 //! * [`Biquad`]/[`BiquadCascade`] — IIR sections including the tunable notch
@@ -40,6 +44,7 @@
 pub mod complex;
 pub mod correlation;
 pub mod fft;
+pub mod scratch;
 pub mod goertzel;
 pub mod fir;
 pub mod iir;
@@ -50,7 +55,8 @@ pub mod resample;
 pub mod window;
 
 pub use complex::Complex;
-pub use fft::Fft;
+pub use fft::{Fft, FftPlanner};
+pub use scratch::DspScratch;
 pub use goertzel::Goertzel;
 pub use fir::{FirFilter, StreamingFir};
 pub use iir::{Biquad, BiquadCascade};

@@ -8,7 +8,7 @@
 //! system targets a ~20 µs preamble.
 
 use crate::correlator::{CorrelatorBank, CorrelatorStats};
-use uwb_dsp::Complex;
+use uwb_dsp::{Complex, DspScratch};
 
 /// Acquisition tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,10 +86,26 @@ impl CoarseAcquisition {
     /// Uses the energy-normalized correlation metric so the threshold is
     /// SNR-invariant.
     pub fn acquire(&self, signal: &[Complex], search_len: usize) -> AcquisitionResult {
+        let mut scratch = DspScratch::new();
+        self.acquire_with(signal, search_len, &mut scratch)
+    }
+
+    /// [`CoarseAcquisition::acquire`] drawing all work buffers from the
+    /// caller's scratch arena — identical results, zero steady-state heap
+    /// allocation (the per-trial form used by the Gen2 receiver).
+    pub fn acquire_with(
+        &self,
+        signal: &[Complex],
+        search_len: usize,
+        scratch: &mut DspScratch,
+    ) -> AcquisitionResult {
         let m = self.bank.template_len();
         let max_phase = signal.len().saturating_sub(m);
         let n_phases = search_len.min(max_phase + 1);
-        let (outputs, stats) = self.bank.run_prefix(signal, n_phases);
+        let mut outputs = scratch.take_complex(0);
+        let stats = self
+            .bank
+            .run_prefix_into(signal, n_phases, scratch, &mut outputs);
 
         // Normalize each output by window and template energy.
         let tpl_energy: f64 = self
@@ -117,6 +133,7 @@ impl CoarseAcquisition {
                 win_energy = win_energy.max(0.0);
             }
         }
+        scratch.put_complex(outputs);
         AcquisitionResult {
             detected: best_metric >= self.config.threshold,
             offset: best_idx,

@@ -49,15 +49,31 @@ impl ChannelEstimate {
 
     /// The `n` strongest taps as `(delay_samples, gain)`, strongest first.
     pub fn strongest_fingers(&self, n: usize) -> Vec<(usize, Complex)> {
-        let mut idx: Vec<usize> = (0..self.taps.len()).collect();
-        idx.sort_by(|&a, &b| {
+        let mut idx = Vec::new();
+        self.select_strongest_into(n, &mut idx);
+        idx.into_iter().map(|i| (i, self.taps[i])).collect()
+    }
+
+    /// Indices of the `n` strongest taps, strongest first, written into the
+    /// caller-owned `idx` buffer (allocation-free once its capacity
+    /// suffices).
+    ///
+    /// Uses an unstable sort with an explicit `(descending energy, ascending
+    /// index)` key, which reproduces exactly the order the stable sort in the
+    /// historical `strongest_fingers` produced — ties on energy are common
+    /// once taps are quantized to a few bits, so the tie-break matters for
+    /// bit-identical finger selection.
+    pub fn select_strongest_into(&self, n: usize, idx: &mut Vec<usize>) {
+        idx.clear();
+        idx.extend(0..self.taps.len());
+        idx.sort_unstable_by(|&a, &b| {
             self.taps[b]
                 .norm_sqr()
                 .partial_cmp(&self.taps[a].norm_sqr())
                 .unwrap()
+                .then(a.cmp(&b))
         });
         idx.truncate(n);
-        idx.into_iter().map(|i| (i, self.taps[i])).collect()
     }
 
     /// Quantizes each tap's I and Q to `bits` (mid-rise, full scale set by
@@ -67,13 +83,25 @@ impl ChannelEstimate {
     ///
     /// Panics if `bits` is 0 or greater than 16.
     pub fn quantized(&self, bits: u32) -> ChannelEstimate {
+        let mut q = self.clone();
+        q.quantize_in_place(bits);
+        q
+    }
+
+    /// [`ChannelEstimate::quantized`] mutating the estimate in place —
+    /// identical values, zero allocation (the per-trial form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn quantize_in_place(&mut self, bits: u32) {
         assert!((1..=16).contains(&bits), "bits must be 1..=16");
         let full_scale = self
             .taps
             .iter()
             .fold(0.0f64, |m, z| m.max(z.re.abs()).max(z.im.abs()));
         if full_scale == 0.0 {
-            return self.clone();
+            return;
         }
         let levels = (1u32 << bits) as f64;
         let step = 2.0 * full_scale / levels;
@@ -81,12 +109,8 @@ impl ChannelEstimate {
             let k = (x / step).floor().clamp(-levels / 2.0, levels / 2.0 - 1.0);
             (k + 0.5) * step
         };
-        ChannelEstimate {
-            taps: self
-                .taps
-                .iter()
-                .map(|z| Complex::new(q(z.re), q(z.im)))
-                .collect(),
+        for z in &mut self.taps {
+            *z = Complex::new(q(z.re), q(z.im));
         }
     }
 
@@ -139,11 +163,43 @@ pub fn estimate_cir(
     periods: usize,
     period_len: usize,
 ) -> ChannelEstimate {
+    let mut est = ChannelEstimate {
+        taps: vec![Complex::ZERO; window.max(1)],
+    };
+    estimate_cir_into(signal, template, start, window, periods, period_len, &mut est);
+    est
+}
+
+/// [`estimate_cir`] writing into a caller-owned [`ChannelEstimate`]
+/// (allocation-free once the tap buffer capacity suffices) — the per-trial
+/// form used by the Gen2 receiver.
+///
+/// A real-valued template (every `im == 0`, as the pulse-shaped preamble
+/// template always is) takes a two-multiply inner loop instead of the
+/// four-multiply complex one; the only representational difference is the
+/// sign of exact zeros, so results are numerically identical.
+///
+/// # Panics
+///
+/// Panics if `window == 0`, `periods == 0`, or the template is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_cir_into(
+    signal: &[Complex],
+    template: &[Complex],
+    start: usize,
+    window: usize,
+    periods: usize,
+    period_len: usize,
+    est: &mut ChannelEstimate,
+) {
     assert!(window > 0, "window must be positive");
     assert!(periods > 0, "need at least one period");
     assert!(!template.is_empty(), "template must be non-empty");
     let tpl_energy: f64 = template.iter().map(|z| z.norm_sqr()).sum();
-    let mut taps = vec![Complex::ZERO; window];
+    let real_template = template.iter().all(|t| t.im == 0.0);
+    let taps = &mut est.taps;
+    taps.clear();
+    taps.resize(window, Complex::ZERO);
     let mut used_periods = 0usize;
     for p in 0..periods {
         let base = start + p * period_len;
@@ -152,21 +208,36 @@ pub fn estimate_cir(
         }
         used_periods += 1;
         for (d, tap) in taps.iter_mut().enumerate() {
-            let mut acc = Complex::ZERO;
-            for (j, &t) in template.iter().enumerate() {
-                let idx = base + d + j;
-                if idx < signal.len() {
-                    acc += signal[idx] * t.conj();
+            let acc = if real_template {
+                // s · conj(t) with t purely real: 2 real MACs per sample.
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for (j, &t) in template.iter().enumerate() {
+                    let idx = base + d + j;
+                    if idx < signal.len() {
+                        let s = signal[idx];
+                        re += s.re * t.re;
+                        im += s.im * t.re;
+                    }
                 }
-            }
+                Complex::new(re, im)
+            } else {
+                let mut acc = Complex::ZERO;
+                for (j, &t) in template.iter().enumerate() {
+                    let idx = base + d + j;
+                    if idx < signal.len() {
+                        acc += signal[idx] * t.conj();
+                    }
+                }
+                acc
+            };
             *tap += acc;
         }
     }
     let scale = 1.0 / (used_periods.max(1) as f64 * tpl_energy);
-    for tap in &mut taps {
+    for tap in taps.iter_mut() {
         *tap = *tap * scale;
     }
-    ChannelEstimate::new(taps)
 }
 
 #[cfg(test)]

@@ -7,7 +7,20 @@
 //! cycles and multiply-accumulate operations* so acquisition-time and power
 //! numbers can be derived from it.
 
-use uwb_dsp::Complex;
+use std::cell::RefCell;
+
+use uwb_dsp::fft::cached_plan;
+use uwb_dsp::math::next_pow2;
+use uwb_dsp::{Complex, DspScratch};
+
+/// Forward FFT of the zero-padded, conjugated, time-reversed template,
+/// memoized per FFT size so repeated acquisition sweeps pay for the template
+/// transform once instead of every call.
+#[derive(Debug, Clone)]
+struct TplSpectrum {
+    n: usize,
+    spec: Vec<Complex>,
+}
 
 /// Operation accounting for a correlator-bank run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -22,10 +35,16 @@ pub struct CorrelatorStats {
 }
 
 /// A bank of `parallelism` correlators sharing one template.
+///
+/// The bank memoizes the FFT of its matched template per transform size (a
+/// `RefCell`, so the bank is `!Sync`; the Monte-Carlo engine builds one bank
+/// per worker thread, which is the intended sharing model).
 #[derive(Debug, Clone)]
 pub struct CorrelatorBank {
     template: Vec<Complex>,
     parallelism: usize,
+    /// Lazily built matched-template spectrum (see [`TplSpectrum`]).
+    tpl_spectrum: RefCell<Option<TplSpectrum>>,
 }
 
 impl CorrelatorBank {
@@ -40,6 +59,7 @@ impl CorrelatorBank {
         CorrelatorBank {
             template,
             parallelism,
+            tpl_spectrum: RefCell::new(None),
         }
     }
 
@@ -99,29 +119,103 @@ impl CorrelatorBank {
     /// MACs; results agree with the direct form up to floating-point
     /// rounding.
     pub fn run_prefix(&self, signal: &[Complex], n_phases: usize) -> (Vec<Complex>, CorrelatorStats) {
+        let mut scratch = DspScratch::new();
+        let mut out = Vec::new();
+        let stats = self.run_prefix_into(signal, n_phases, &mut scratch, &mut out);
+        (out, stats)
+    }
+
+    /// [`CorrelatorBank::run_prefix`] computing into caller-owned storage.
+    ///
+    /// Identical outputs and hardware accounting; FFT work buffers come from
+    /// `scratch` and the matched-template spectrum is memoized inside the
+    /// bank, so steady-state acquisition sweeps perform zero heap allocation
+    /// and one forward + one inverse transform (instead of two forward + one
+    /// inverse with a per-call template transform).
+    pub fn run_prefix_into(
+        &self,
+        signal: &[Complex],
+        n_phases: usize,
+        scratch: &mut DspScratch,
+        out: &mut Vec<Complex>,
+    ) -> CorrelatorStats {
         let m = self.template.len();
         // Below this work estimate the direct form wins (and stays exactly
         // bit-identical to `run`, which small unit tests rely on).
         const FFT_THRESHOLD_MACS: usize = 1 << 15;
         let use_fft = m > 1 && n_phases.saturating_mul(m) >= FFT_THRESHOLD_MACS;
+        out.clear();
         if !use_fft {
-            let phases: Vec<usize> = (0..n_phases).collect();
-            return self.run(signal, &phases);
-        }
-        // Only the first `n_phases + m - 1` samples are ever touched.
-        let needed = (n_phases + m - 1).min(signal.len());
-        let mf = uwb_dsp::correlation::cross_correlate_fft(&signal[..needed], &self.template);
-        let mut out = Vec::with_capacity(n_phases);
-        for p in 0..n_phases {
-            out.push(if p < mf.len() { mf[p] } else { Complex::ZERO });
+            out.reserve(n_phases);
+            for p in 0..n_phases {
+                if p + m > signal.len() {
+                    out.push(Complex::ZERO);
+                    continue;
+                }
+                let mut acc = Complex::ZERO;
+                for (j, &t) in self.template.iter().enumerate() {
+                    acc += signal[p + j] * t.conj();
+                }
+                out.push(acc);
+            }
+        } else {
+            self.correlate_prefix_fft(signal, n_phases, scratch, out);
         }
         let dwells = n_phases.div_ceil(self.parallelism);
-        let stats = CorrelatorStats {
+        CorrelatorStats {
             phases_evaluated: n_phases,
             clock_cycles: dwells as u64 * m as u64,
             mac_ops: n_phases as u64 * m as u64 * 4,
-        };
-        (out, stats)
+        }
+    }
+
+    /// FFT path of [`CorrelatorBank::run_prefix_into`]: correlate against the
+    /// memoized template spectrum, writing `n_phases` outputs (zero-filled
+    /// past the last valid lag).
+    fn correlate_prefix_fft(
+        &self,
+        signal: &[Complex],
+        n_phases: usize,
+        scratch: &mut DspScratch,
+        out: &mut Vec<Complex>,
+    ) {
+        let m = self.template.len();
+        // Only the first `n_phases + m - 1` samples are ever touched.
+        let needed = (n_phases + m - 1).min(signal.len());
+        if needed < m {
+            out.resize(n_phases, Complex::ZERO);
+            return;
+        }
+        let n_valid = needed - m + 1;
+        let n = next_pow2(needed + m - 1);
+        {
+            // (Re)build the cached template spectrum when the size changes.
+            let mut cache = self.tpl_spectrum.borrow_mut();
+            if cache.as_ref().is_none_or(|c| c.n != n) {
+                let fft = cached_plan(n);
+                let mut spec = vec![Complex::ZERO; n];
+                for (o, t) in spec.iter_mut().zip(self.template.iter().rev()) {
+                    *o = t.conj();
+                }
+                fft.forward_in_place(&mut spec);
+                *cache = Some(TplSpectrum { n, spec });
+            }
+        }
+        let cache = self.tpl_spectrum.borrow();
+        let spec = &cache.as_ref().unwrap().spec;
+        let fft = cached_plan(n);
+        let mut fa = scratch.take_complex(n);
+        fa[..needed].copy_from_slice(&signal[..needed]);
+        fft.forward_in_place(&mut fa);
+        for (x, y) in fa.iter_mut().zip(spec) {
+            *x = *x * *y;
+        }
+        fft.inverse_in_place(&mut fa);
+        let take = n_valid.min(n_phases);
+        out.reserve(n_phases);
+        out.extend_from_slice(&fa[m - 1..m - 1 + take]);
+        out.resize(n_phases, Complex::ZERO);
+        scratch.put_complex(fa);
     }
 
     /// Correlates every phase in `0..signal.len() − template_len + 1`

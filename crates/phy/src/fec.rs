@@ -161,22 +161,39 @@ fn parity(x: u32) -> bool {
 
 /// Packs bits (MSB-first) into bytes, zero-padding the final byte.
 pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
-    bits.chunks(8)
-        .map(|chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << (7 - i)))
-        })
-        .collect()
+    let mut out = Vec::new();
+    bits_to_bytes_into(bits, &mut out);
+    out
+}
+
+/// [`bits_to_bytes`] into a caller-owned buffer (allocation-free once the
+/// capacity suffices).
+pub fn bits_to_bytes_into(bits: &[bool], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend(bits.chunks(8).map(|chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << (7 - i)))
+    }));
 }
 
 /// Unpacks bytes into bits, MSB-first.
 pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
-    bytes
-        .iter()
-        .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1 != 0))
-        .collect()
+    let mut out = Vec::new();
+    bytes_to_bits_into(bytes, &mut out);
+    out
+}
+
+/// [`bytes_to_bits`] into a caller-owned buffer (allocation-free once the
+/// capacity suffices).
+pub fn bytes_to_bits_into(bytes: &[u8], out: &mut Vec<bool>) {
+    out.clear();
+    out.extend(
+        bytes
+            .iter()
+            .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1 != 0)),
+    );
 }
 
 #[cfg(test)]

@@ -77,12 +77,12 @@ pub use fec::ConvCode;
 pub use lms::LmsEqualizer;
 pub use mlse::MlseEqualizer;
 pub use modulation::Modulation;
-pub use packet::{FrameSlots, Header};
+pub use packet::{FrameScratch, FrameSlots, Header};
 pub use power::{PowerBreakdown, PowerClass, PowerModel};
 pub use pulse::PulseShape;
 pub use rake::RakeReceiver;
 pub use ranging::{solve_two_way, RangingResult, ToaEstimate, ToaEstimator};
-pub use receiver::{Gen2Receiver, ReceivedPacket};
+pub use receiver::{Gen2Receiver, ReceivedPacket, RxState};
 pub use spectral::{GoertzelMonitor, InterfererReport, SpectralMonitor};
 pub use tracking::{Dll, Pll};
 pub use tx::{Burst, Gen2Transmitter};

@@ -9,6 +9,11 @@
 
 use uwb_dsp::Complex;
 
+/// Maximum pulse slots any supported format occupies per symbol (PPM-2).
+pub const MAX_SLOTS_PER_SYMBOL: usize = 2;
+/// Maximum bits any supported format carries per symbol (4-PAM).
+pub const MAX_BITS_PER_SYMBOL: usize = 2;
+
 /// A pulse modulation format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Modulation {
@@ -64,20 +69,41 @@ impl Modulation {
     ///
     /// Panics if `bits.len() != self.bits_per_symbol()`.
     pub fn map(self, bits: &[bool]) -> Vec<f64> {
+        let mut amps = [0.0; MAX_SLOTS_PER_SYMBOL];
+        let n = self.map_into(bits, &mut amps);
+        amps[..n].to_vec()
+    }
+
+    /// [`Modulation::map`] into a caller-owned fixed array (allocation-free).
+    /// Returns the number of slots written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.bits_per_symbol()`.
+    pub fn map_into(self, bits: &[bool], amps: &mut [f64; MAX_SLOTS_PER_SYMBOL]) -> usize {
         assert_eq!(
             bits.len(),
             self.bits_per_symbol(),
             "wrong number of bits for {self:?}"
         );
         match self {
-            Modulation::Bpsk => vec![if bits[0] { 1.0 } else { -1.0 }],
-            Modulation::Ook => vec![if bits[0] { 1.0 } else { 0.0 }],
+            Modulation::Bpsk => {
+                amps[0] = if bits[0] { 1.0 } else { -1.0 };
+                1
+            }
+            Modulation::Ook => {
+                amps[0] = if bits[0] { 1.0 } else { 0.0 };
+                1
+            }
             Modulation::Ppm2 => {
                 if bits[0] {
-                    vec![0.0, 1.0]
+                    amps[0] = 0.0;
+                    amps[1] = 1.0;
                 } else {
-                    vec![1.0, 0.0]
+                    amps[0] = 1.0;
+                    amps[1] = 0.0;
                 }
+                2
             }
             Modulation::Pam4 => {
                 // Gray map: 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3, scaled by
@@ -88,7 +114,8 @@ impl Modulation {
                     (true, true) => 1.0,
                     (true, false) => 3.0,
                 };
-                vec![level / 5.0f64.sqrt()]
+                amps[0] = level / 5.0f64.sqrt();
+                1
             }
         }
     }
@@ -101,6 +128,24 @@ impl Modulation {
     ///
     /// Panics if `slots.len() != self.slots_per_symbol()`.
     pub fn demap(self, slots: &[Complex]) -> (Vec<bool>, Vec<f64>) {
+        let mut bits = [false; MAX_BITS_PER_SYMBOL];
+        let mut soft = [0.0; MAX_BITS_PER_SYMBOL];
+        let n = self.demap_into(slots, &mut bits, &mut soft);
+        (bits[..n].to_vec(), soft[..n].to_vec())
+    }
+
+    /// [`Modulation::demap`] into caller-owned fixed arrays
+    /// (allocation-free). Returns the number of bits written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots.len() != self.slots_per_symbol()`.
+    pub fn demap_into(
+        self,
+        slots: &[Complex],
+        bits: &mut [bool; MAX_BITS_PER_SYMBOL],
+        soft: &mut [f64; MAX_BITS_PER_SYMBOL],
+    ) -> usize {
         assert_eq!(
             slots.len(),
             self.slots_per_symbol(),
@@ -109,24 +154,32 @@ impl Modulation {
         match self {
             Modulation::Bpsk => {
                 let m = slots[0].re;
-                (vec![m > 0.0], vec![m])
+                bits[0] = m > 0.0;
+                soft[0] = m;
+                1
             }
             Modulation::Ook => {
                 // Threshold halfway between 0 and the nominal amplitude 1.
                 let m = slots[0].re - 0.5;
-                (vec![m > 0.0], vec![m])
+                bits[0] = m > 0.0;
+                soft[0] = m;
+                1
             }
             Modulation::Ppm2 => {
                 let m = slots[1].re - slots[0].re;
-                (vec![m > 0.0], vec![m])
+                bits[0] = m > 0.0;
+                soft[0] = m;
+                1
             }
             Modulation::Pam4 => {
                 let x = slots[0].re * 5.0f64.sqrt();
                 // Gray demap with per-bit soft metrics.
                 // bit0 (MSB): sign. bit1: |x| < 2.
-                let b0 = x > 0.0;
-                let b1 = x.abs() < 2.0;
-                (vec![b0, b1], vec![x, 2.0 - x.abs()])
+                bits[0] = x > 0.0;
+                bits[1] = x.abs() < 2.0;
+                soft[0] = x;
+                soft[1] = 2.0 - x.abs();
+                2
             }
         }
     }

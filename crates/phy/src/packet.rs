@@ -15,9 +15,9 @@
 use crate::config::Gen2Config;
 use crate::crc::{crc32_ieee, crc8};
 use crate::error::PhyError;
-use crate::fec::{bits_to_bytes, bytes_to_bits};
-use crate::modulation::Modulation;
-use crate::pn::{barker13, msequence_chips};
+use crate::fec::{bits_to_bytes, bytes_to_bits_into};
+use crate::modulation::{Modulation, MAX_BITS_PER_SYMBOL, MAX_SLOTS_PER_SYMBOL};
+use crate::pn::{msequence_chips_into, BARKER13};
 use crate::scrambler::Scrambler;
 use uwb_dsp::Complex;
 
@@ -79,7 +79,7 @@ impl Header {
 
 /// The slot-amplitude representation of a frame (one amplitude per pulse
 /// slot, before pulse shaping).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FrameSlots {
     /// Preamble chip amplitudes (±1).
     pub preamble: Vec<f64>,
@@ -115,30 +115,52 @@ impl FrameSlots {
     }
 }
 
-/// Spreads per-symbol slot amplitudes over `ppb` repetitions.
-fn spread(symbol_slots: &[f64], ppb: usize) -> Vec<f64> {
-    let mut out = Vec::with_capacity(symbol_slots.len() * ppb);
-    for _ in 0..ppb {
-        out.extend_from_slice(symbol_slots);
-    }
-    out
+/// Reusable working storage for the allocation-free framing and decoding
+/// paths ([`build_frame_into`], [`decode_payload_bits_into`],
+/// [`reference_payload_bits_into`]). One per Monte-Carlo worker; every
+/// buffer grows to its high-water mark on first use and is reused
+/// thereafter.
+#[derive(Debug, Default)]
+pub struct FrameScratch {
+    /// One m-sequence preamble period.
+    chips: Vec<f64>,
+    /// Scrambled payload || CRC bytes.
+    body: Vec<u8>,
+    /// Bit-stream working buffer.
+    bits: Vec<bool>,
+    /// Hard decisions from the demapper.
+    hard: Vec<bool>,
+    /// Soft metrics from the demapper.
+    soft: Vec<f64>,
 }
 
-/// Maps a bit stream to spread slot amplitudes under `modulation`.
-fn bits_to_slots(bits: &[bool], modulation: Modulation, ppb: usize) -> Vec<f64> {
+impl FrameScratch {
+    /// Creates an empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        FrameScratch::default()
+    }
+}
+
+/// Maps a bit stream to spread slot amplitudes under `modulation` into a
+/// caller-owned buffer, using fixed stack arrays per symbol
+/// (allocation-free once the capacity suffices).
+fn bits_to_slots_into(bits: &[bool], modulation: Modulation, ppb: usize, out: &mut Vec<f64>) {
     let bps = modulation.bits_per_symbol();
-    let mut out = Vec::new();
+    out.clear();
     let mut idx = 0;
     while idx < bits.len() {
-        let mut symbol_bits = Vec::with_capacity(bps);
-        for k in 0..bps {
-            symbol_bits.push(*bits.get(idx + k).unwrap_or(&false)); // zero-pad
+        let mut symbol_bits = [false; MAX_BITS_PER_SYMBOL];
+        for (k, b) in symbol_bits.iter_mut().enumerate().take(bps) {
+            *b = *bits.get(idx + k).unwrap_or(&false); // zero-pad
         }
-        let amps = modulation.map(&symbol_bits);
-        out.extend(spread(&amps, ppb));
+        let mut amps = [0.0; MAX_SLOTS_PER_SYMBOL];
+        let n_slots = modulation.map_into(&symbol_bits[..bps], &mut amps);
+        // Spread: the whole symbol repeated `ppb` times.
+        for _ in 0..ppb {
+            out.extend_from_slice(&amps[..n_slots]);
+        }
         idx += bps;
     }
-    out
 }
 
 /// Builds the slot-amplitude frame for a payload.
@@ -148,6 +170,26 @@ fn bits_to_slots(bits: &[bool], modulation: Modulation, ppb: usize) -> Vec<f64> 
 /// Returns [`PhyError::PayloadTooLarge`] if the payload exceeds
 /// [`MAX_PAYLOAD`].
 pub fn build_frame(payload: &[u8], config: &Gen2Config) -> Result<FrameSlots, PhyError> {
+    let mut frame = FrameSlots::default();
+    let mut scratch = FrameScratch::new();
+    build_frame_into(payload, config, &mut frame, &mut scratch)?;
+    Ok(frame)
+}
+
+/// [`build_frame`] into a caller-owned [`FrameSlots`], drawing all working
+/// buffers from `scratch` — identical output, zero steady-state heap
+/// allocation (FEC encoding, when enabled, is the documented exception).
+///
+/// # Errors
+///
+/// Returns [`PhyError::PayloadTooLarge`] if the payload exceeds
+/// [`MAX_PAYLOAD`].
+pub fn build_frame_into(
+    payload: &[u8],
+    config: &Gen2Config,
+    frame: &mut FrameSlots,
+    scratch: &mut FrameScratch,
+) -> Result<(), PhyError> {
     if payload.len() > MAX_PAYLOAD {
         return Err(PhyError::PayloadTooLarge {
             requested: payload.len(),
@@ -157,12 +199,13 @@ pub fn build_frame(payload: &[u8], config: &Gen2Config) -> Result<FrameSlots, Ph
     let ppb = config.pulses_per_bit;
 
     // Preamble + SFD.
-    let one_period = msequence_chips(config.preamble_degree);
-    let mut preamble = Vec::with_capacity(one_period.len() * config.preamble_repeats);
+    msequence_chips_into(config.preamble_degree, &mut scratch.chips);
+    frame.preamble.clear();
     for _ in 0..config.preamble_repeats {
-        preamble.extend_from_slice(&one_period);
+        frame.preamble.extend_from_slice(&scratch.chips);
     }
-    let sfd = barker13();
+    frame.sfd.clear();
+    frame.sfd.extend_from_slice(&BARKER13);
 
     // Header: always BPSK with the same spreading.
     let header = Header {
@@ -170,27 +213,26 @@ pub fn build_frame(payload: &[u8], config: &Gen2Config) -> Result<FrameSlots, Ph
         modulation: config.modulation,
         fec: config.fec.is_some(),
     };
-    let header_bits = bytes_to_bits(&header.to_bytes());
-    let header_slots = bits_to_slots(&header_bits, Modulation::Bpsk, ppb);
+    bytes_to_bits_into(&header.to_bytes(), &mut scratch.bits);
+    bits_to_slots_into(&scratch.bits, Modulation::Bpsk, ppb, &mut frame.header);
 
     // Payload: scramble(payload || crc32) -> optional FEC -> modulate.
-    let mut body = payload.to_vec();
+    scratch.body.clear();
+    scratch.body.extend_from_slice(payload);
     let fcs = crc32_ieee(payload);
-    body.extend_from_slice(&fcs.to_be_bytes());
+    scratch.body.extend_from_slice(&fcs.to_be_bytes());
     let mut scrambler = Scrambler::default();
-    scrambler.apply_bytes(&mut body);
-    let mut bits = bytes_to_bits(&body);
+    scrambler.apply_bytes(&mut scratch.body);
+    bytes_to_bits_into(&scratch.body, &mut scratch.bits);
     if let Some(code) = config.fec {
-        bits = code.encode(&bits);
+        // The convolutional encoder allocates its output (FEC is outside
+        // the zero-allocation steady-state contract).
+        let coded = code.encode(&scratch.bits);
+        scratch.bits.clear();
+        scratch.bits.extend_from_slice(&coded);
     }
-    let payload_slots = bits_to_slots(&bits, config.modulation, ppb);
-
-    Ok(FrameSlots {
-        preamble,
-        sfd,
-        header: header_slots,
-        payload: payload_slots,
-    })
+    bits_to_slots_into(&scratch.bits, config.modulation, ppb, &mut frame.payload);
+    Ok(())
 }
 
 /// Number of payload slots for a given payload length under `config`.
@@ -217,20 +259,37 @@ fn slots_to_soft(
     modulation: Modulation,
     ppb: usize,
 ) -> (Vec<bool>, Vec<f64>) {
-    let sps = modulation.slots_per_symbol();
-    let group = sps * ppb;
     let mut bits = Vec::new();
     let mut soft = Vec::new();
+    slots_to_soft_into(stats, modulation, ppb, &mut bits, &mut soft);
+    (bits, soft)
+}
+
+/// [`slots_to_soft`] into caller-owned buffers, with fixed stack arrays per
+/// symbol (allocation-free once the capacities suffice).
+fn slots_to_soft_into(
+    stats: &[Complex],
+    modulation: Modulation,
+    ppb: usize,
+    bits: &mut Vec<bool>,
+    soft: &mut Vec<f64>,
+) {
+    let sps = modulation.slots_per_symbol();
+    let group = sps * ppb;
+    bits.clear();
+    soft.clear();
     for chunk in stats.chunks_exact(group) {
         // Sum repetitions: repetition r's slot s is chunk[r * sps + s].
-        let combined: Vec<Complex> = (0..sps)
-            .map(|s| (0..ppb).map(|r| chunk[r * sps + s]).sum::<Complex>() / ppb as f64)
-            .collect();
-        let (b, s) = modulation.demap(&combined);
-        bits.extend(b);
-        soft.extend(s);
+        let mut combined = [Complex::ZERO; MAX_SLOTS_PER_SYMBOL];
+        for (s, c) in combined.iter_mut().enumerate().take(sps) {
+            *c = (0..ppb).map(|r| chunk[r * sps + s]).sum::<Complex>() / ppb as f64;
+        }
+        let mut b = [false; MAX_BITS_PER_SYMBOL];
+        let mut m = [0.0; MAX_BITS_PER_SYMBOL];
+        let nb = modulation.demap_into(&combined[..sps], &mut b, &mut m);
+        bits.extend_from_slice(&b[..nb]);
+        soft.extend_from_slice(&m[..nb]);
     }
-    (bits, soft)
 }
 
 /// Decodes header slot statistics.
@@ -265,32 +324,78 @@ pub fn decode_payload_bits(
     payload_len: usize,
     config: &Gen2Config,
 ) -> Result<Vec<bool>, PhyError> {
+    let mut scratch = FrameScratch::new();
+    let mut out = Vec::new();
+    decode_payload_bits_into(stats, payload_len, config, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_payload_bits`] into a caller-owned buffer, drawing working
+/// storage from `scratch` — identical output, zero steady-state heap
+/// allocation (the soft Viterbi decoder, when FEC is enabled, is the
+/// documented exception).
+///
+/// # Errors
+///
+/// Same as [`decode_payload_bits`].
+pub fn decode_payload_bits_into(
+    stats: &[Complex],
+    payload_len: usize,
+    config: &Gen2Config,
+    scratch: &mut FrameScratch,
+    out: &mut Vec<bool>,
+) -> Result<(), PhyError> {
     let needed = payload_slot_count(payload_len, config);
     if stats.len() < needed {
         return Err(PhyError::TruncatedInput);
     }
-    let (hard, soft) = slots_to_soft(&stats[..needed], config.modulation, config.pulses_per_bit);
+    slots_to_soft_into(
+        &stats[..needed],
+        config.modulation,
+        config.pulses_per_bit,
+        &mut scratch.hard,
+        &mut scratch.soft,
+    );
     let raw_bits = 8 * (payload_len + 4);
-    let mut bits = match config.fec {
+    out.clear();
+    match config.fec {
         Some(code) => {
             let coded_len = 2 * (raw_bits + code.constraint_length as usize - 1);
-            code.decode_soft(&soft[..coded_len])
+            // The Viterbi trellis allocates (FEC is outside the
+            // zero-allocation steady-state contract).
+            out.extend_from_slice(&code.decode_soft(&scratch.soft[..coded_len]));
         }
-        None => hard,
-    };
-    bits.truncate(raw_bits);
+        None => out.extend_from_slice(&scratch.hard),
+    }
+    out.truncate(raw_bits);
     let mut scrambler = Scrambler::default();
-    scrambler.apply_bits(&mut bits);
-    Ok(bits)
+    scrambler.apply_bits(out);
+    Ok(())
 }
 
 /// The ground-truth descrambled bit stream for a payload (payload plus
 /// CRC-32), to compare against [`decode_payload_bits`] output when counting
 /// bit errors.
 pub fn reference_payload_bits(payload: &[u8]) -> Vec<bool> {
-    let mut body = payload.to_vec();
-    body.extend_from_slice(&crc32_ieee(payload).to_be_bytes());
-    bytes_to_bits(&body)
+    let mut scratch = FrameScratch::new();
+    let mut out = Vec::new();
+    reference_payload_bits_into(payload, &mut scratch, &mut out);
+    out
+}
+
+/// [`reference_payload_bits`] into a caller-owned buffer, drawing working
+/// storage from `scratch` (allocation-free once the capacities suffice).
+pub fn reference_payload_bits_into(
+    payload: &[u8],
+    scratch: &mut FrameScratch,
+    out: &mut Vec<bool>,
+) {
+    scratch.body.clear();
+    scratch.body.extend_from_slice(payload);
+    scratch
+        .body
+        .extend_from_slice(&crc32_ieee(payload).to_be_bytes());
+    bytes_to_bits_into(&scratch.body, out);
 }
 
 /// Decodes payload slot statistics into the payload bytes, verifying the

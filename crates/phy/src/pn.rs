@@ -73,10 +73,17 @@ impl Lfsr {
 
     /// Generates one full period as ±1 chips (`true → +1`).
     pub fn chips(&mut self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.chips_into(&mut out);
+        out
+    }
+
+    /// [`Lfsr::chips`] into a caller-owned buffer (allocation-free once the
+    /// capacity suffices).
+    pub fn chips_into(&mut self, out: &mut Vec<f64>) {
         let n = self.period();
-        (0..n)
-            .map(|_| if self.next_bit() { 1.0 } else { -1.0 })
-            .collect()
+        out.clear();
+        out.extend((0..n).map(|_| if self.next_bit() { 1.0 } else { -1.0 }));
     }
 }
 
@@ -116,6 +123,12 @@ pub fn msequence_chips(degree: u32) -> Vec<f64> {
     Lfsr::msequence(degree).chips()
 }
 
+/// [`msequence_chips`] into a caller-owned buffer (allocation-free once the
+/// capacity suffices).
+pub fn msequence_chips_into(degree: u32, out: &mut Vec<f64>) {
+    Lfsr::msequence(degree).chips_into(out);
+}
+
 /// Generates a Gold code of degree `n` by XORing two m-sequences with
 /// different tap sets at relative phase `shift`. Gold families give many
 /// codes with bounded cross-correlation — useful when multiple links share
@@ -149,10 +162,13 @@ pub fn gold_code(degree: u32, shift: usize) -> Vec<f64> {
 /// The 13-chip Barker code — the classic start-frame-delimiter pattern with
 /// ideal aperiodic autocorrelation sidelobes of |1|.
 pub fn barker13() -> Vec<f64> {
-    vec![
-        1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0,
-    ]
+    BARKER13.to_vec()
 }
+
+/// The Barker-13 chip sequence as a constant (allocation-free access).
+pub const BARKER13: [f64; 13] = [
+    1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0,
+];
 
 #[cfg(test)]
 mod tests {

@@ -26,17 +26,36 @@ impl RakeReceiver {
     ///
     /// Panics if `n_fingers == 0`.
     pub fn from_estimate(estimate: &ChannelEstimate, n_fingers: usize) -> Self {
+        let mut rake = RakeReceiver {
+            fingers: Vec::new(),
+            total_weight: 0.0,
+        };
+        let mut idx = Vec::new();
+        rake.rebuild_from_estimate(estimate, n_fingers, &mut idx);
+        rake
+    }
+
+    /// Rebuilds this RAKE in place from a fresh channel estimate, reusing
+    /// the finger storage and a caller-owned index buffer — identical
+    /// selection and weights to [`RakeReceiver::from_estimate`], but
+    /// allocation-free once capacities suffice (the per-trial form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_fingers == 0`.
+    pub fn rebuild_from_estimate(
+        &mut self,
+        estimate: &ChannelEstimate,
+        n_fingers: usize,
+        idx_scratch: &mut Vec<usize>,
+    ) {
         assert!(n_fingers > 0, "need at least one finger");
-        let fingers: Vec<(usize, Complex)> = estimate
-            .strongest_fingers(n_fingers)
-            .into_iter()
-            .map(|(d, g)| (d, g.conj()))
-            .collect();
-        let total_weight = fingers.iter().map(|(_, w)| w.norm_sqr()).sum();
-        RakeReceiver {
-            fingers,
-            total_weight,
-        }
+        estimate.select_strongest_into(n_fingers, idx_scratch);
+        let taps = estimate.taps();
+        self.fingers.clear();
+        self.fingers
+            .extend(idx_scratch.iter().map(|&i| (i, taps[i].conj())));
+        self.total_weight = self.fingers.iter().map(|(_, w)| w.norm_sqr()).sum();
     }
 
     /// A single-finger "RAKE" (plain matched filter at the strongest path) —
@@ -104,14 +123,30 @@ impl RakeReceiver {
         // Valid correlation lags: 0 ..= samples.len() - pulse.len(), the
         // same range `combine` accepts via `idx < mf.len()`.
         let n_valid = (samples.len() + 1).saturating_sub(pulse.len());
+        // A real pulse (the UWB monocycle templates always are at baseband)
+        // needs 2 real MACs per sample instead of 4; the only representational
+        // difference vs the complex loop is the sign of exact zeros.
+        let real_pulse = pulse.iter().all(|p| p.im == 0.0);
         let mut acc = Complex::ZERO;
         for &(d, w) in &self.fingers {
             let idx = prompt + d;
             if idx < n_valid {
-                let mut c = Complex::ZERO;
-                for (j, &p) in pulse.iter().enumerate() {
-                    c += samples[idx + j] * p.conj();
-                }
+                let c = if real_pulse {
+                    let mut re = 0.0;
+                    let mut im = 0.0;
+                    for (j, &p) in pulse.iter().enumerate() {
+                        let s = samples[idx + j];
+                        re += s.re * p.re;
+                        im += s.im * p.re;
+                    }
+                    Complex::new(re, im)
+                } else {
+                    let mut c = Complex::ZERO;
+                    for (j, &p) in pulse.iter().enumerate() {
+                        c += samples[idx + j] * p.conj();
+                    }
+                    c
+                };
                 acc += c * w;
             }
         }

@@ -6,7 +6,7 @@
 //! module in this crate; [`Gen2Receiver`] wires them together.
 
 use crate::acquisition::{AcquisitionConfig, AcquisitionResult, CoarseAcquisition};
-use crate::chanest::{estimate_cir, ChannelEstimate};
+use crate::chanest::{estimate_cir_into, ChannelEstimate};
 use crate::config::Gen2Config;
 use crate::error::PhyError;
 use crate::mlse::MlseEqualizer;
@@ -16,7 +16,7 @@ use crate::pulse::PulseShape;
 use crate::rake::RakeReceiver;
 use crate::tx::Gen2Transmitter;
 use uwb_adc::Quantizer;
-use uwb_dsp::Complex;
+use uwb_dsp::{Complex, DspScratch};
 
 /// How many samples before the acquisition lock the channel-estimation
 /// window starts (captures paths earlier than the strongest one).
@@ -35,6 +35,57 @@ pub struct ReceivedPacket {
     pub acquisition: AcquisitionResult,
     /// The (quantized) channel estimate the RAKE used.
     pub estimate: ChannelEstimate,
+}
+
+/// Reusable per-worker receive state: every buffer the receive chain needs,
+/// owned by the caller so steady-state trials allocate nothing.
+///
+/// One `RxState` per Monte-Carlo worker (it is deliberately not `Clone`: the
+/// scratch pool inside should be long-lived, not copied around). All buffers
+/// grow to their high-water mark on the first packet and are reused
+/// thereafter.
+#[derive(Debug)]
+pub struct RxState {
+    /// Scratch arena for FFT/correlation work buffers.
+    scratch: DspScratch,
+    /// AGC + quantizer output record.
+    digitized: Vec<Complex>,
+    /// Channel estimate (raw, then quantized in place).
+    estimate: ChannelEstimate,
+    /// RAKE rebuilt in place each packet.
+    rake: RakeReceiver,
+    /// Finger-selection index scratch.
+    finger_idx: Vec<usize>,
+}
+
+impl RxState {
+    /// Creates an empty state; buffers size themselves on first use.
+    pub fn new() -> Self {
+        let estimate = ChannelEstimate::new(vec![Complex::ZERO]);
+        let rake = RakeReceiver::from_estimate(
+            &ChannelEstimate::new(vec![Complex::ONE]),
+            1,
+        );
+        RxState {
+            scratch: DspScratch::new(),
+            digitized: Vec::new(),
+            estimate,
+            rake,
+            finger_idx: Vec::new(),
+        }
+    }
+
+    /// The scratch arena, for callers that interleave their own DSP work
+    /// (channel application, noise) with receive calls on one pool.
+    pub fn scratch(&mut self) -> &mut DspScratch {
+        &mut self.scratch
+    }
+}
+
+impl Default for RxState {
+    fn default() -> Self {
+        RxState::new()
+    }
 }
 
 /// The gen2 receiver.
@@ -82,13 +133,26 @@ impl Gen2Receiver {
     /// Front-end conditioning: AGC to −9 dBFS, then I/Q quantization at the
     /// configured ADC resolution.
     pub fn digitize(&self, samples: &[Complex]) -> Vec<Complex> {
+        let mut out = Vec::new();
+        self.digitize_into(samples, &mut out);
+        out
+    }
+
+    /// [`Gen2Receiver::digitize`] into a caller-owned buffer, fusing the
+    /// gain and quantization passes (bit-identical output, allocation-free
+    /// once the buffer capacity suffices).
+    pub fn digitize_into(&self, samples: &[Complex], out: &mut Vec<Complex>) {
+        out.clear();
         let p = uwb_dsp::complex::mean_power(samples);
         if p <= 0.0 {
-            return samples.to_vec();
+            out.extend_from_slice(samples);
+            return;
         }
         let gain = 0.355 / p.sqrt();
-        let scaled: Vec<Complex> = samples.iter().map(|&z| z * gain).collect();
-        self.quantizer.quantize_complex(&scaled)
+        out.extend(samples.iter().map(|&z| {
+            let s = z * gain;
+            Complex::new(self.quantizer.quantize(s.re), self.quantizer.quantize(s.im))
+        }));
     }
 
     /// Runs the complete receive chain on a complex-baseband record.
@@ -99,12 +163,34 @@ impl Gen2Receiver {
     /// * [`PhyError::HeaderInvalid`] / [`PhyError::CrcMismatch`] /
     ///   [`PhyError::TruncatedInput`] — decode failures.
     pub fn receive_packet(&self, samples: &[Complex]) -> Result<ReceivedPacket, PhyError> {
-        let digitized = self.digitize(samples);
+        let mut state = RxState::new();
+        self.receive_packet_with(samples, &mut state)
+    }
+
+    /// [`Gen2Receiver::receive_packet`] drawing every work buffer from a
+    /// caller-owned [`RxState`] — identical results, but acquisition FFTs,
+    /// the digitized record, channel estimation, and RAKE rebuilds all reuse
+    /// the state's storage (the per-trial form used by the Monte-Carlo
+    /// engine). Only the returned packet itself is freshly allocated.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gen2Receiver::receive_packet`].
+    pub fn receive_packet_with(
+        &self,
+        samples: &[Complex],
+        state: &mut RxState,
+    ) -> Result<ReceivedPacket, PhyError> {
+        self.digitize_into(samples, &mut state.digitized);
 
         // --- Coarse acquisition over one preamble period of phases ---
         let sps = self.config.samples_per_slot();
         let period = self.config.preamble_length() * sps;
-        let acq = self.acquisition.acquire(&digitized, period + CIR_PRE_SAMPLES);
+        let acq = self.acquisition.acquire_with(
+            &state.digitized,
+            period + CIR_PRE_SAMPLES,
+            &mut state.scratch,
+        );
         if !acq.detected {
             return Err(PhyError::SyncFailed);
         }
@@ -112,30 +198,34 @@ impl Gen2Receiver {
         // --- Channel estimation over the remaining preamble periods ---
         let est_start = acq.offset.saturating_sub(CIR_PRE_SAMPLES);
         let periods = (self.config.preamble_repeats - 1).max(1);
-        let raw_estimate = estimate_cir(
-            &digitized,
+        estimate_cir_into(
+            &state.digitized,
             &self.preamble_template,
             est_start,
             CIR_WINDOW,
             periods,
             period,
+            &mut state.estimate,
         );
-        let estimate = match self.config.chanest_bits {
-            Some(bits) => raw_estimate.quantized(bits),
-            None => raw_estimate,
-        };
+        if let Some(bits) = self.config.chanest_bits {
+            state.estimate.quantize_in_place(bits);
+        }
 
         // --- Matched filter + RAKE ---
         // The matched filter is evaluated lazily at the finger delays of
         // each decoded slot (combine_direct) instead of FFT-filtering the
         // whole record: only slots × fingers values are ever read.
-        let rake = RakeReceiver::from_estimate(&estimate, self.config.rake_fingers);
+        state
+            .rake
+            .rebuild_from_estimate(&state.estimate, self.config.rake_fingers, &mut state.finger_idx);
+        let digitized = &state.digitized;
+        let rake = &state.rake;
 
         // Slot s of the frame has its pulse starting at acq.offset + s*sps;
         // fingers are relative to est_start = acq.offset - CIR_PRE_SAMPLES.
         let prompt_base = est_start;
         let stat = |slot: usize| -> Complex {
-            rake.combine_direct(&digitized, &self.pulse, prompt_base + slot * sps)
+            rake.combine_direct(digitized, &self.pulse, prompt_base + slot * sps)
         };
 
         // --- Header ---
@@ -150,17 +240,17 @@ impl Gen2Receiver {
         // --- Payload ---
         let payload_start = header_start + n_header;
         let n_payload = payload_slot_count(header.payload_len, &self.config);
-        let payload_stats: Vec<Complex> =
+        let mut payload_stats: Vec<Complex> =
             (0..n_payload).map(|k| stat(payload_start + k)).collect();
-        let payload_stats = self.maybe_track_carrier(payload_stats);
-        let payload_stats = self.maybe_equalize(payload_stats, &estimate, &rake);
+        self.maybe_track_carrier_in_place(&mut payload_stats);
+        self.maybe_equalize_in_place(&mut payload_stats, &state.estimate, &state.rake);
         let payload = decode_payload(&payload_stats, header.payload_len, &self.config)?;
 
         Ok(ReceivedPacket {
             payload,
             header,
             acquisition: acq,
-            estimate,
+            estimate: state.estimate.clone(),
         })
     }
 
@@ -208,32 +298,38 @@ impl Gen2Receiver {
     /// decision-directed PLL over the slot statistics in time order,
     /// de-rotating residual CFO/phase-noise spin (paper Fig. 3's "PLL"
     /// block). Other modulations pass through unchanged.
-    fn maybe_track_carrier(&self, stats: Vec<Complex>) -> Vec<Complex> {
+    fn maybe_track_carrier_in_place(&self, stats: &mut [Complex]) {
         if !self.config.carrier_tracking || self.config.modulation != Modulation::Bpsk {
-            return stats;
+            return;
         }
         let mut pll = crate::tracking::Pll::new(0.25);
-        stats.into_iter().map(|z| pll.track(z)).collect()
+        for z in stats.iter_mut() {
+            *z = pll.track(*z);
+        }
     }
 
     /// When the configuration enables the MLSE (Viterbi demodulator) and the
     /// payload is plain BPSK at one pulse per bit, equalizes the residual
     /// symbol-rate ISI the RAKE output still carries (paper §1: "the ISI due
-    /// to multipath can be addressed with a Viterbi demodulator"). Returns
-    /// hard-remodulated statistics; otherwise passes the input through.
-    fn maybe_equalize(
+    /// to multipath can be addressed with a Viterbi demodulator"). Rewrites
+    /// `stats` with hard-remodulated symbols; otherwise leaves it untouched.
+    ///
+    /// The Viterbi trellis itself still allocates — the MLSE path is the one
+    /// documented exception to the zero-allocation steady state (the nominal
+    /// configuration does not enable it).
+    fn maybe_equalize_in_place(
         &self,
-        stats: Vec<Complex>,
+        stats: &mut Vec<Complex>,
         estimate: &ChannelEstimate,
         rake: &RakeReceiver,
-    ) -> Vec<Complex> {
+    ) {
         let applicable = self.config.mlse_taps > 1
             && self.config.mlse_taps <= 9
             && self.config.modulation == Modulation::Bpsk
             && self.config.pulses_per_bit == 1
             && self.config.fec.is_none();
         if !applicable {
-            return stats;
+            return;
         }
         let g = rake.symbol_spaced_response(
             estimate,
@@ -241,13 +337,16 @@ impl Gen2Receiver {
             self.config.mlse_taps,
         );
         if g.iter().map(|z| z.norm_sqr()).sum::<f64>() <= 0.0 {
-            return stats;
+            return;
         }
         let eq = MlseEqualizer::new(g);
-        eq.equalize(&stats)
-            .into_iter()
-            .map(|b| Complex::new(if b { 1.0 } else { -1.0 }, 0.0))
-            .collect()
+        let decided = eq.equalize(stats);
+        stats.clear();
+        stats.extend(
+            decided
+                .into_iter()
+                .map(|b| Complex::new(if b { 1.0 } else { -1.0 }, 0.0)),
+        );
     }
 
     /// BER-measurement fast path: demodulates payload slot statistics with
@@ -260,34 +359,62 @@ impl Gen2Receiver {
         slot0_start: usize,
         payload_len: usize,
     ) -> Vec<Complex> {
-        let digitized = self.digitize(samples);
+        let mut state = RxState::new();
+        let mut out = Vec::new();
+        self.payload_statistics_known_timing_with(
+            samples,
+            slot0_start,
+            payload_len,
+            &mut state,
+            &mut out,
+        );
+        out
+    }
+
+    /// [`Gen2Receiver::payload_statistics_known_timing`] drawing every work
+    /// buffer from a caller-owned [`RxState`] and writing the statistics into
+    /// `out` — identical results, zero steady-state heap allocation (the
+    /// per-trial form used by the Monte-Carlo BER engine; the MLSE path,
+    /// when enabled, is the documented exception).
+    pub fn payload_statistics_known_timing_with(
+        &self,
+        samples: &[Complex],
+        slot0_start: usize,
+        payload_len: usize,
+        state: &mut RxState,
+        out: &mut Vec<Complex>,
+    ) {
+        self.digitize_into(samples, &mut state.digitized);
         let sps = self.config.samples_per_slot();
         let period = self.config.preamble_length() * sps;
         let est_start = slot0_start.saturating_sub(CIR_PRE_SAMPLES);
         let periods = (self.config.preamble_repeats - 1).max(1);
-        let raw_estimate = estimate_cir(
-            &digitized,
+        estimate_cir_into(
+            &state.digitized,
             &self.preamble_template,
             est_start,
             CIR_WINDOW,
             periods,
             period,
+            &mut state.estimate,
         );
-        let estimate = match self.config.chanest_bits {
-            Some(bits) => raw_estimate.quantized(bits),
-            None => raw_estimate,
-        };
-        let rake = RakeReceiver::from_estimate(&estimate, self.config.rake_fingers);
+        if let Some(bits) = self.config.chanest_bits {
+            state.estimate.quantize_in_place(bits);
+        }
+        state
+            .rake
+            .rebuild_from_estimate(&state.estimate, self.config.rake_fingers, &mut state.finger_idx);
         let preamble_slots = self.config.preamble_length() * self.config.preamble_repeats;
         let payload_slot0 = preamble_slots + 13 + header_slot_count(&self.config);
         let n_payload = payload_slot_count(payload_len, &self.config);
-        let stats: Vec<Complex> = (0..n_payload)
-            .map(|k| {
-                rake.combine_direct(&digitized, &self.pulse, est_start + (payload_slot0 + k) * sps)
-            })
-            .collect();
-        let stats = self.maybe_track_carrier(stats);
-        self.maybe_equalize(stats, &estimate, &rake)
+        let digitized = &state.digitized;
+        let rake = &state.rake;
+        out.clear();
+        out.extend((0..n_payload).map(|k| {
+            rake.combine_direct(digitized, &self.pulse, est_start + (payload_slot0 + k) * sps)
+        }));
+        self.maybe_track_carrier_in_place(out);
+        self.maybe_equalize_in_place(out, &state.estimate, &state.rake);
     }
 }
 
@@ -533,6 +660,46 @@ mod tests {
             errs_mlse * 3 < errs_plain.max(1),
             "MLSE {errs_mlse} errors vs plain {errs_plain}"
         );
+    }
+
+    #[test]
+    fn known_timing_with_state_matches_plain() {
+        let cfg = Gen2Config::nominal_100mbps();
+        let (tx, rx) = link(&cfg);
+        let payload = vec![0x9Au8; 24];
+        let burst = tx.transmit_packet(&payload).unwrap();
+        let slot0 = burst.slot0_center - tx.pulse().len() / 2;
+        let want = rx.payload_statistics_known_timing(&burst.samples, slot0, payload.len());
+        let mut state = RxState::new();
+        let mut out = Vec::new();
+        // Repeated calls on one warm state stay bit-identical.
+        for _ in 0..3 {
+            rx.payload_statistics_known_timing_with(
+                &burst.samples,
+                slot0,
+                payload.len(),
+                &mut state,
+                &mut out,
+            );
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn receive_packet_with_state_matches_plain() {
+        let cfg = Gen2Config::nominal_100mbps();
+        let (tx, rx) = link(&cfg);
+        let payload = vec![0x42u8; 20];
+        let burst = tx.transmit_packet(&payload).unwrap();
+        let want = rx.receive_packet(&burst.samples).unwrap();
+        let mut state = RxState::new();
+        for _ in 0..2 {
+            let got = rx.receive_packet_with(&burst.samples, &mut state).unwrap();
+            assert_eq!(got.payload, want.payload);
+            assert_eq!(got.header, want.header);
+            assert_eq!(got.acquisition, want.acquisition);
+            assert_eq!(got.estimate, want.estimate);
+        }
     }
 
     #[test]

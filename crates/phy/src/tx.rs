@@ -8,7 +8,7 @@
 
 use crate::config::Gen2Config;
 use crate::error::PhyError;
-use crate::packet::{build_frame, FrameSlots};
+use crate::packet::{build_frame_into, FrameScratch, FrameSlots};
 use crate::pulse::PulseShape;
 use uwb_dsp::Complex;
 use uwb_sim::time::SampleRate;
@@ -82,37 +82,90 @@ impl Gen2Transmitter {
     ///
     /// Propagates framing errors from [`build_frame`].
     pub fn transmit_packet(&self, payload: &[u8]) -> Result<Burst, PhyError> {
-        let slots = build_frame(payload, &self.config)?;
-        Ok(self.synthesize(slots))
+        let mut burst = Burst {
+            samples: Vec::new(),
+            sample_rate: self.config.sample_rate,
+            slot0_center: 0,
+            samples_per_slot: 0,
+            slots: FrameSlots::default(),
+        };
+        let mut scratch = FrameScratch::new();
+        self.transmit_packet_into(payload, &mut burst, &mut scratch)?;
+        Ok(burst)
+    }
+
+    /// [`Gen2Transmitter::transmit_packet`] into a caller-owned [`Burst`],
+    /// drawing framing work buffers from `scratch` — identical output, zero
+    /// steady-state heap allocation once the buffers reach their high-water
+    /// marks (the per-trial form used by the Monte-Carlo engine).
+    ///
+    /// # Errors
+    ///
+    /// Propagates framing errors from [`crate::packet::build_frame_into`].
+    pub fn transmit_packet_into(
+        &self,
+        payload: &[u8],
+        burst: &mut Burst,
+        scratch: &mut FrameScratch,
+    ) -> Result<(), PhyError> {
+        build_frame_into(payload, &self.config, &mut burst.slots, scratch)?;
+        self.synthesize_in_place(burst);
+        Ok(())
     }
 
     /// Synthesizes a waveform from explicit frame slots (used by the
     /// platform crate for arbitrary-waveform experiments).
     pub fn synthesize(&self, slots: FrameSlots) -> Burst {
-        let amps = slots.concat();
+        let mut burst = Burst {
+            samples: Vec::new(),
+            sample_rate: self.config.sample_rate,
+            slot0_center: 0,
+            samples_per_slot: 0,
+            slots,
+        };
+        self.synthesize_in_place(&mut burst);
+        burst
+    }
+
+    /// Re-synthesizes `burst.samples` (and geometry fields) from
+    /// `burst.slots`, reusing the sample buffer — identical output to
+    /// [`Gen2Transmitter::synthesize`], allocation-free once the capacity
+    /// suffices. The four slot segments are walked in transmission order
+    /// without concatenating them first.
+    pub fn synthesize_in_place(&self, burst: &mut Burst) {
         let sps = self.config.samples_per_slot();
         let half_pulse = self.pulse.len() / 2;
         // Guard so the first/last pulse fit entirely.
         let guard = half_pulse + sps;
-        let n = amps.len() * sps + 2 * guard;
-        let mut samples = vec![Complex::ZERO; n];
-        for (k, &a) in amps.iter().enumerate() {
-            if a == 0.0 {
-                continue;
-            }
-            let center = guard + k * sps;
-            for (j, &p) in self.pulse.iter().enumerate() {
-                let idx = center + j - half_pulse;
-                samples[idx].re += a * p;
+        let slot_count = burst.slots.preamble.len()
+            + burst.slots.sfd.len()
+            + burst.slots.header.len()
+            + burst.slots.payload.len();
+        let n = slot_count * sps + 2 * guard;
+        burst.samples.clear();
+        burst.samples.resize(n, Complex::ZERO);
+        let segments = [
+            &burst.slots.preamble,
+            &burst.slots.sfd,
+            &burst.slots.header,
+            &burst.slots.payload,
+        ];
+        let mut k = 0usize;
+        for seg in segments {
+            for &a in seg.iter() {
+                if a != 0.0 {
+                    let center = guard + k * sps;
+                    for (j, &p) in self.pulse.iter().enumerate() {
+                        let idx = center + j - half_pulse;
+                        burst.samples[idx].re += a * p;
+                    }
+                }
+                k += 1;
             }
         }
-        Burst {
-            samples,
-            sample_rate: self.config.sample_rate,
-            slot0_center: guard,
-            samples_per_slot: sps,
-            slots,
-        }
+        burst.sample_rate = self.config.sample_rate;
+        burst.slot0_center = guard;
+        burst.samples_per_slot = sps;
     }
 
     /// The preamble template waveform (one m-sequence period as pulses),
@@ -220,6 +273,25 @@ mod tests {
         // CRC-32 alone: 32 payload bits.
         assert_eq!(burst.slots.payload.len(), 32);
         assert!(burst.duration_us() > 5.0);
+    }
+
+    #[test]
+    fn transmit_into_matches_and_reuses_storage() {
+        let t = tx();
+        let want = t.transmit_packet(&[0x5A; 32]).unwrap();
+        // Pre-sized from a different payload: the into-form must fully
+        // overwrite it and reuse the sample allocation.
+        let mut burst = t.transmit_packet(&[0x11; 32]).unwrap();
+        let ptr = burst.samples.as_ptr();
+        let mut scratch = FrameScratch::new();
+        t.transmit_packet_into(&[0x5A; 32], &mut burst, &mut scratch)
+            .unwrap();
+        assert_eq!(burst, want);
+        assert_eq!(burst.samples.as_ptr(), ptr, "sample buffer reallocated");
+        // Second call with the warm scratch is still bit-identical.
+        t.transmit_packet_into(&[0x5A; 32], &mut burst, &mut scratch)
+            .unwrap();
+        assert_eq!(burst, want);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod waveform;
 
 pub use link::{
     ber_waterfall, run_ber, run_ber_budgeted, run_ber_fast, run_ber_fast_budgeted, BerRun,
-    LinkOutcome, LinkRun, LinkScenario, LinkStopReason, TrialBudget,
+    LinkOutcome, LinkRun, LinkScenario, LinkStopReason, LinkWorker, TrialBudget,
 };
 pub use mask::{check_mask, fcc_indoor_mask, MaskReport, MaskSegment};
 pub use metrics::ErrorCounter;

@@ -25,12 +25,16 @@
 //! * results are bit-identical for any worker thread count (`UWB_THREADS`).
 
 use crate::metrics::ErrorCounter;
-use uwb_phy::packet::{decode_payload_bits, reference_payload_bits};
-use uwb_phy::{Gen2Config, Gen2Receiver, Gen2Transmitter, PhyError, SpectralMonitor};
+use uwb_dsp::Complex;
+use uwb_phy::packet::{decode_payload_bits_into, reference_payload_bits_into};
+use uwb_phy::{
+    Burst, FrameScratch, FrameSlots, Gen2Config, Gen2Receiver, Gen2Transmitter, PhyError,
+    RxState, SpectralMonitor,
+};
 use uwb_rf::TunableNotch;
-use uwb_sim::awgn::add_awgn_complex;
+use uwb_sim::awgn::add_awgn_complex_in_place;
 use uwb_sim::montecarlo::{Merge, MonteCarlo, RunStats, StopReason};
-use uwb_sim::sv_channel::{ChannelModel, ChannelRealization};
+use uwb_sim::sv_channel::{ChannelModel, ChannelRealization, Tap};
 use uwb_sim::{Interferer, Rand};
 
 /// A complete link scenario.
@@ -208,107 +212,191 @@ fn energy_per_info_bit(slots: &uwb_phy::packet::FrameSlots, payload_len: usize) 
 /// index is built once per worker thread and reused across trials. The old
 /// runners rebuilt the transmitter/receiver (and, per trial, the spectral
 /// monitor and notch filter) for every packet.
-struct LinkWorker {
+///
+/// Since the zero-allocation DSP port, the worker also owns every per-trial
+/// buffer (burst, channel realization, impaired record, slot statistics,
+/// decoded/reference bits, receiver state). After the first trial warms the
+/// buffers to their high-water marks, steady-state trials on the nominal
+/// BER path perform no heap allocation at all; this is enforced by a
+/// counting-allocator regression test in the umbrella crate. The FEC,
+/// MLSE, and notch paths are the documented exceptions.
+///
+/// Public so harnesses (benchmarks, allocation tests) can drive single
+/// trials directly without going through the Monte-Carlo engine.
+pub struct LinkWorker {
     tx: Gen2Transmitter,
     rx: Gen2Receiver,
     monitor: SpectralMonitor,
     notch: TunableNotch,
+    // --- persistent per-trial buffers ---
+    channel: ChannelRealization,
+    rx_state: RxState,
+    frame_scratch: FrameScratch,
+    burst: Burst,
+    payload: Vec<u8>,
+    samples: Vec<Complex>,
+    stats: Vec<Complex>,
+    bits: Vec<bool>,
+    ref_bits: Vec<bool>,
 }
 
 impl LinkWorker {
-    fn new(scenario: &LinkScenario) -> Self {
+    /// Builds the worker for a scenario (one per Monte-Carlo thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's PHY configuration fails validation.
+    pub fn new(scenario: &LinkScenario) -> Self {
         let config = &scenario.config;
         LinkWorker {
             tx: Gen2Transmitter::new(config.clone()).expect("tx config"),
             rx: Gen2Receiver::new(config.clone()).expect("rx config"),
             monitor: SpectralMonitor::new(),
             notch: TunableNotch::new(config.sample_rate, 30.0),
+            channel: ChannelRealization::from_taps(vec![Tap {
+                delay_ns: 0.0,
+                gain: Complex::ONE,
+            }]),
+            rx_state: RxState::new(),
+            frame_scratch: FrameScratch::new(),
+            burst: Burst {
+                samples: Vec::new(),
+                sample_rate: config.sample_rate,
+                slot0_center: 0,
+                samples_per_slot: 0,
+                slots: FrameSlots::default(),
+            },
+            payload: Vec::new(),
+            samples: Vec::new(),
+            stats: Vec::new(),
+            bits: Vec::new(),
+            ref_bits: Vec::new(),
         }
     }
 
-    /// Synthesizes one impaired packet record and returns it with its
-    /// payload and known slot-0 start (the shared front half of both the
-    /// BER-only and the full-acquisition paths).
+    /// Synthesizes one impaired packet record into the worker's buffers
+    /// (`self.payload`, `self.samples`) and returns the known slot-0 start
+    /// — the shared front half of both the BER-only and the
+    /// full-acquisition paths. Allocation-free in steady state except for
+    /// the notch path.
     fn synthesize(
         &mut self,
         scenario: &LinkScenario,
         payload_len: usize,
         rng: &mut Rand,
-    ) -> (Vec<u8>, Vec<uwb_dsp::complex::Complex>, usize) {
+    ) -> usize {
         let config = &scenario.config;
-        let mut payload = vec![0u8; payload_len];
-        rng.fill_bytes(&mut payload);
-        let burst = self.tx.transmit_packet(&payload).expect("payload size");
+        self.payload.clear();
+        self.payload.resize(payload_len, 0);
+        rng.fill_bytes(&mut self.payload);
+        self.tx
+            .transmit_packet_into(&self.payload, &mut self.burst, &mut self.frame_scratch)
+            .expect("payload size");
 
-        // Channel.
+        // Channel (fresh realization per packet, taps regenerated in place).
         let fs = config.sample_rate;
-        let ch = ChannelRealization::generate(scenario.channel, rng);
-        let mut samples = ch.apply(&burst.samples, fs);
+        self.channel.regenerate(scenario.channel, rng);
+        self.channel.apply_into(
+            &self.burst.samples,
+            fs,
+            self.rx_state.scratch(),
+            &mut self.samples,
+        );
 
         // Interference.
         if let Some(intf) = &scenario.interferer {
-            samples = intf.add_to(&samples, fs.as_hz(), rng);
+            intf.add_to_in_place(&mut self.samples, fs.as_hz(), rng);
         }
 
         // Noise calibrated to Eb/N0 on information bits.
-        let eb = energy_per_info_bit(&burst.slots, payload.len());
+        let eb = energy_per_info_bit(&self.burst.slots, self.payload.len());
         let n0 = eb / uwb_dsp::math::db_to_pow(scenario.ebn0_db);
-        samples = add_awgn_complex(&samples, n0, rng);
+        add_awgn_complex_in_place(&mut self.samples, n0, rng);
 
         // Optional spectral monitoring + notch (the paper's interferer
         // defense). The monitor and filter live in the worker; only the
-        // centre frequency is re-tuned per record.
+        // centre frequency is re-tuned per record. The notch filter itself
+        // still allocates its output (outside the zero-allocation
+        // steady-state contract).
         if scenario.notch_enabled {
-            let report = self.monitor.analyze(&samples, fs.as_hz());
+            let report = self.monitor.analyze(&self.samples, fs.as_hz());
             if report.detected {
                 self.notch.tune(report.frequency);
-                samples = self.notch.process(&samples);
+                let filtered = self.notch.process(&self.samples);
+                self.samples.clear();
+                self.samples.extend_from_slice(&filtered);
             }
         }
 
-        let slot0_start = burst.slot0_center - self.tx.pulse().len() / 2;
-        (payload, samples, slot0_start)
+        self.burst.slot0_center - self.tx.pulse().len() / 2
     }
 
-    /// BER-only trial: known-timing statistics path.
-    fn trial_ber(
+    /// BER-only trial: known-timing statistics path. Zero steady-state heap
+    /// allocation on the nominal configuration.
+    pub fn trial_ber(
         &mut self,
         scenario: &LinkScenario,
         payload_len: usize,
         rng: &mut Rand,
         counter: &mut ErrorCounter,
     ) {
-        let (payload, samples, slot0_start) = self.synthesize(scenario, payload_len, rng);
-        let stats = self
-            .rx
-            .payload_statistics_known_timing(&samples, slot0_start, payload.len());
-        if let Ok(bits) = decode_payload_bits(&stats, payload.len(), &scenario.config) {
-            counter.add_bits(&reference_payload_bits(&payload), &bits);
+        let slot0_start = self.synthesize(scenario, payload_len, rng);
+        self.rx.payload_statistics_known_timing_with(
+            &self.samples,
+            slot0_start,
+            self.payload.len(),
+            &mut self.rx_state,
+            &mut self.stats,
+        );
+        if decode_payload_bits_into(
+            &self.stats,
+            self.payload.len(),
+            &scenario.config,
+            &mut self.frame_scratch,
+            &mut self.bits,
+        )
+        .is_ok()
+        {
+            reference_payload_bits_into(&self.payload, &mut self.frame_scratch, &mut self.ref_bits);
+            counter.add_bits(&self.ref_bits, &self.bits);
         }
     }
 
     /// Full trial: BER path plus full-acquisition packet path.
-    fn trial_full(
+    pub fn trial_full(
         &mut self,
         scenario: &LinkScenario,
         payload_len: usize,
         rng: &mut Rand,
         outcome: &mut LinkOutcome,
     ) {
-        let (payload, samples, slot0_start) = self.synthesize(scenario, payload_len, rng);
+        let slot0_start = self.synthesize(scenario, payload_len, rng);
 
         // --- BER path: known timing. ---
-        let stats = self
-            .rx
-            .payload_statistics_known_timing(&samples, slot0_start, payload.len());
-        if let Ok(bits) = decode_payload_bits(&stats, payload.len(), &scenario.config) {
-            outcome.ber.add_bits(&reference_payload_bits(&payload), &bits);
+        self.rx.payload_statistics_known_timing_with(
+            &self.samples,
+            slot0_start,
+            self.payload.len(),
+            &mut self.rx_state,
+            &mut self.stats,
+        );
+        if decode_payload_bits_into(
+            &self.stats,
+            self.payload.len(),
+            &scenario.config,
+            &mut self.frame_scratch,
+            &mut self.bits,
+        )
+        .is_ok()
+        {
+            reference_payload_bits_into(&self.payload, &mut self.frame_scratch, &mut self.ref_bits);
+            outcome.ber.add_bits(&self.ref_bits, &self.bits);
         }
 
         // --- Packet path: full acquisition. ---
         outcome.packets += 1;
-        match self.rx.receive_packet(&samples) {
-            Ok(pkt) if pkt.payload == payload => outcome.packets_ok += 1,
+        match self.rx.receive_packet_with(&self.samples, &mut self.rx_state) {
+            Ok(pkt) if pkt.payload == self.payload => outcome.packets_ok += 1,
             Ok(_) => {}
             Err(PhyError::SyncFailed) => outcome.sync_failures += 1,
             Err(_) => {}

@@ -23,6 +23,18 @@ pub fn add_awgn_complex(signal: &[Complex], noise_power: f64, rng: &mut Rand) ->
         .collect()
 }
 
+/// [`add_awgn_complex`] mutating the signal in place (allocation-free).
+///
+/// Draw order (I then Q per sample) and arithmetic are identical to the
+/// allocating form, so results and downstream RNG state are bit-identical —
+/// the per-trial form used by the Monte-Carlo workers.
+pub fn add_awgn_complex_in_place(signal: &mut [Complex], noise_power: f64, rng: &mut Rand) {
+    let sigma = (noise_power.max(0.0) / 2.0).sqrt();
+    for z in signal.iter_mut() {
+        *z = *z + Complex::new(sigma * rng.gaussian(), sigma * rng.gaussian());
+    }
+}
+
 /// Generates `n` samples of complex AWGN with total power `noise_power`.
 pub fn complex_noise(n: usize, noise_power: f64, rng: &mut Rand) -> Vec<Complex> {
     let sigma = (noise_power.max(0.0) / 2.0).sqrt();
@@ -103,6 +115,22 @@ mod tests {
         let resid: f64 = noisy.iter().map(|x| (x - 1.0) * (x - 1.0)).sum::<f64>()
             / noisy.len() as f64;
         assert!((resid - p_noise).abs() / p_noise < 0.05);
+    }
+
+    #[test]
+    fn in_place_matches_allocating_bitwise() {
+        let sig: Vec<Complex> = (0..64).map(|i| Complex::new(i as f64, -0.5)).collect();
+        let want = add_awgn_complex(&sig, 0.3, &mut Rand::new(17));
+        let mut rng = Rand::new(17);
+        let mut buf = sig.clone();
+        add_awgn_complex_in_place(&mut buf, 0.3, &mut rng);
+        assert_eq!(buf, want);
+        // Downstream RNG state must match too.
+        assert_eq!(rng.gaussian(), {
+            let mut r2 = Rand::new(17);
+            let _ = add_awgn_complex(&sig, 0.3, &mut r2);
+            r2.gaussian()
+        });
     }
 
     #[test]

@@ -93,6 +93,44 @@ impl Interferer {
         signal.iter().zip(&tone).map(|(&s, &t)| s + t).collect()
     }
 
+    /// [`Interferer::add_to`] mutating the signal in place (allocation-free).
+    ///
+    /// The RNG draw order (starting phase first, then any per-sample symbol
+    /// draws) matches [`Interferer::generate`] exactly, so results and
+    /// downstream RNG state are bit-identical to the allocating form.
+    pub fn add_to_in_place(&self, signal: &mut [Complex], fs_hz: f64, rng: &mut Rand) {
+        let amp = self.power.sqrt();
+        let phase0 = rng.uniform_in(0.0, std::f64::consts::TAU);
+        match &self.kind {
+            InterfererKind::ContinuousWave => {
+                let mut nco = Nco::with_phase(self.offset_hz, fs_hz, phase0);
+                for z in signal.iter_mut() {
+                    *z = *z + nco.next_complex() * amp;
+                }
+            }
+            InterfererKind::Modulated { symbol_rate_hz } => {
+                let mut nco = Nco::with_phase(self.offset_hz, fs_hz, phase0);
+                let sps = (fs_hz / symbol_rate_hz).max(1.0) as usize;
+                let mut symbol = 1.0;
+                for (i, z) in signal.iter_mut().enumerate() {
+                    if i % sps == 0 {
+                        symbol = if rng.bit() { 1.0 } else { -1.0 };
+                    }
+                    *z = *z + nco.next_complex() * (amp * symbol);
+                }
+            }
+            InterfererKind::Swept { sweep_hz_per_s } => {
+                let dt = 1.0 / fs_hz;
+                let mut phase = phase0;
+                for (i, z) in signal.iter_mut().enumerate() {
+                    let f = self.offset_hz + sweep_hz_per_s * (i as f64 * dt);
+                    phase += std::f64::consts::TAU * f * dt;
+                    *z = *z + Complex::from_polar(amp, phase);
+                }
+            }
+        }
+    }
+
     /// Signal-to-interference ratio (dB) that this interferer produces
     /// against a signal of power `signal_power`.
     pub fn sir_db(&self, signal_power: f64) -> f64 {
@@ -180,6 +218,27 @@ mod tests {
         assert_eq!(out.len(), base.len());
         // Powers add only on average for uncorrelated phases; check amplitude range.
         assert!(out.iter().all(|z| z.norm() <= 2.0 + 1e-12));
+    }
+
+    #[test]
+    fn add_to_in_place_matches_allocating_bitwise() {
+        let base: Vec<Complex> = (0..500).map(|i| Complex::new(0.01 * i as f64, -1.0)).collect();
+        for kind in [
+            InterfererKind::ContinuousWave,
+            InterfererKind::Modulated { symbol_rate_hz: 20e6 },
+            InterfererKind::Swept { sweep_hz_per_s: 1e14 },
+        ] {
+            let intf = Interferer {
+                offset_hz: 55e6,
+                power: 2.5,
+                kind,
+            };
+            let want = intf.add_to(&base, 1e9, &mut Rand::new(31));
+            let mut buf = base.clone();
+            let mut rng = Rand::new(31);
+            intf.add_to_in_place(&mut buf, 1e9, &mut rng);
+            assert_eq!(buf, want);
+        }
     }
 
     #[test]

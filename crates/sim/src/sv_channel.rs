@@ -13,7 +13,7 @@
 
 use crate::rng::Rand;
 use crate::time::SampleRate;
-use uwb_dsp::Complex;
+use uwb_dsp::{Complex, DspScratch};
 
 /// Channel environment selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,6 +124,33 @@ pub struct ChannelRealization {
     taps: Vec<Tap>,
 }
 
+/// Stable insertion sort by delay — the identical permutation a stable
+/// `slice::sort_by` produces, but without that sort's temporary-buffer
+/// allocation. Tap counts are small (tens to a few hundred), so the O(n²)
+/// worst case never matters; what matters is that the per-trial
+/// [`ChannelRealization::regenerate`] path stays allocation-free.
+fn sort_taps_stable(taps: &mut [Tap]) {
+    for i in 1..taps.len() {
+        let mut j = i;
+        while j > 0 && taps[j - 1].delay_ns > taps[j].delay_ns {
+            taps.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// Normalizes total tap energy to one and sorts by delay, in place.
+fn finalize_taps(taps: &mut [Tap]) {
+    assert!(!taps.is_empty(), "channel needs at least one tap");
+    let energy: f64 = taps.iter().map(|t| t.gain.norm_sqr()).sum();
+    assert!(energy > 0.0, "channel taps must carry energy");
+    let scale = 1.0 / energy.sqrt();
+    for t in taps.iter_mut() {
+        t.gain = t.gain * scale;
+    }
+    sort_taps_stable(taps);
+}
+
 impl ChannelRealization {
     /// A single unit tap at zero delay (the AWGN channel).
     pub fn identity() -> Self {
@@ -142,34 +169,53 @@ impl ChannelRealization {
     ///
     /// Panics if `taps` is empty or all gains are zero.
     pub fn from_taps(mut taps: Vec<Tap>) -> Self {
-        assert!(!taps.is_empty(), "channel needs at least one tap");
-        let energy: f64 = taps.iter().map(|t| t.gain.norm_sqr()).sum();
-        assert!(energy > 0.0, "channel taps must carry energy");
-        let scale = 1.0 / energy.sqrt();
-        for t in &mut taps {
-            t.gain = t.gain * scale;
-        }
-        taps.sort_by(|a, b| a.delay_ns.partial_cmp(&b.delay_ns).unwrap());
+        finalize_taps(&mut taps);
         ChannelRealization { taps }
     }
 
     /// Draws a random realization of `model` (normalized to unit energy).
     /// [`ChannelModel::Awgn`] yields the identity channel.
     pub fn generate(model: ChannelModel, rng: &mut Rand) -> Self {
-        match model.parameters() {
-            None => ChannelRealization::identity(),
-            Some(p) => ChannelRealization::generate_sv(&p, rng),
-        }
+        let mut c = ChannelRealization::identity();
+        c.regenerate(model, rng);
+        c
     }
 
     /// Draws a random Saleh–Valenzuela realization with explicit parameters.
     pub fn generate_sv(p: &SvParams, rng: &mut Rand) -> Self {
+        let mut c = ChannelRealization::identity();
+        c.regenerate_sv(p, rng);
+        c
+    }
+
+    /// Redraws this realization from `model`, reusing the existing tap
+    /// storage. Identical RNG draw order and results as
+    /// [`ChannelRealization::generate`], but allocation-free once the tap
+    /// buffer has reached its high-water capacity — the per-trial form used
+    /// by the Monte-Carlo workers.
+    pub fn regenerate(&mut self, model: ChannelModel, rng: &mut Rand) {
+        match model.parameters() {
+            None => {
+                self.taps.clear();
+                self.taps.push(Tap {
+                    delay_ns: 0.0,
+                    gain: Complex::ONE,
+                });
+            }
+            Some(p) => self.regenerate_sv(&p, rng),
+        }
+    }
+
+    /// Redraws a Saleh–Valenzuela realization in place (see
+    /// [`ChannelRealization::regenerate`]).
+    pub fn regenerate_sv(&mut self, p: &SvParams, rng: &mut Rand) {
         // Truncate the profile when mean energy has decayed by ~50 dB.
         let max_cluster_delay = 5.0 * p.cluster_decay;
         let max_ray_excess = 5.0 * p.ray_decay;
         let sigma_ln = p.fading_sigma_db * std::f64::consts::LN_10 / 20.0;
 
-        let mut taps = Vec::new();
+        let taps = &mut self.taps;
+        taps.clear();
         let mut t_cluster = 0.0; // first cluster at 0 by convention
         while t_cluster <= max_cluster_delay {
             let mut tau = 0.0; // first ray of each cluster at the cluster time
@@ -190,7 +236,7 @@ impl ChannelRealization {
             }
             t_cluster += rng.exponential(p.cluster_rate);
         }
-        ChannelRealization::from_taps(taps)
+        finalize_taps(taps);
     }
 
     /// The continuous-time taps, sorted by delay.
@@ -244,14 +290,22 @@ impl ChannelRealization {
     /// Discretizes the channel into a sampled impulse response at `fs`.
     /// Each continuous tap is accumulated into its nearest sample bin.
     pub fn discretize(&self, fs: SampleRate) -> Vec<Complex> {
+        let mut h = Vec::new();
+        self.discretize_into(fs, &mut h);
+        h
+    }
+
+    /// [`ChannelRealization::discretize`] writing into a caller-owned buffer
+    /// (cleared and refilled; allocation-free once its capacity suffices).
+    pub fn discretize_into(&self, fs: SampleRate, h: &mut Vec<Complex>) {
         let ts_ns = 1e9 / fs.as_hz();
         let n = (self.max_excess_delay_ns() / ts_ns).round() as usize + 1;
-        let mut h = vec![Complex::ZERO; n];
+        h.clear();
+        h.resize(n, Complex::ZERO);
         for t in &self.taps {
             let k = (t.delay_ns / ts_ns).round() as usize;
             h[k.min(n - 1)] += t.gain;
         }
-        h
     }
 
     /// Convolves a complex baseband signal with the discretized channel
@@ -264,6 +318,30 @@ impl ChannelRealization {
             return input.iter().map(|&z| z * h[0]).collect();
         }
         uwb_dsp::fft::fft_convolve(input, &h)
+    }
+
+    /// [`ChannelRealization::apply`] computing into caller-owned storage.
+    ///
+    /// Bit-identical to `apply`; the discretized impulse response and FFT
+    /// work buffers come from `scratch`, so steady-state per-trial use is
+    /// allocation-free.
+    pub fn apply_into(
+        &self,
+        input: &[Complex],
+        fs: SampleRate,
+        scratch: &mut DspScratch,
+        out: &mut Vec<Complex>,
+    ) {
+        let mut h = scratch.take_complex(0);
+        self.discretize_into(fs, &mut h);
+        if h.len() == 1 {
+            let g = h[0];
+            out.clear();
+            out.extend(input.iter().map(|&z| z * g));
+        } else {
+            uwb_dsp::fft::fft_convolve_into(input, &h, scratch, out);
+        }
+        scratch.put_complex(h);
     }
 
     /// Energy captured by the `n` strongest taps, as a fraction of total —
@@ -332,6 +410,35 @@ mod tests {
         let a = ChannelRealization::generate(ChannelModel::Cm2, &mut Rand::new(7));
         let b = ChannelRealization::generate(ChannelModel::Cm2, &mut Rand::new(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regenerate_matches_generate_bitwise() {
+        // Same seed, same draw order: the in-place redraw must be identical
+        // to a fresh generate, for both AWGN and multipath models.
+        for model in [ChannelModel::Awgn, ChannelModel::Cm2, ChannelModel::Cm4] {
+            let fresh = ChannelRealization::generate(model, &mut Rand::new(99));
+            let mut reused = ChannelRealization::generate(ChannelModel::Cm1, &mut Rand::new(1));
+            reused.regenerate(model, &mut Rand::new(99));
+            assert_eq!(fresh, reused, "{model}");
+        }
+    }
+
+    #[test]
+    fn apply_into_matches_apply_bitwise() {
+        let mut rng = Rand::new(11);
+        let fs = SampleRate::from_gsps(2.0);
+        let sig: Vec<Complex> = (0..300)
+            .map(|i| Complex::new((0.2 * i as f64).sin(), (0.13 * i as f64).cos()))
+            .collect();
+        let mut scratch = uwb_dsp::DspScratch::new();
+        let mut out = Vec::new();
+        for model in [ChannelModel::Awgn, ChannelModel::Cm1, ChannelModel::Cm3] {
+            let c = ChannelRealization::generate(model, &mut rng);
+            let want = c.apply(&sig, fs);
+            c.apply_into(&sig, fs, &mut scratch, &mut out);
+            assert_eq!(out, want, "{model}");
+        }
     }
 
     #[test]

@@ -4,6 +4,11 @@
 # Usage:
 #   scripts/check.sh          release build + the root test suite (tier-1)
 #   scripts/check.sh smoke    build + run the end-to-end engine/link smoke bin
+#   scripts/check.sh bench    build + run dspbench against the committed
+#                             BENCH_dsp.json baseline; fails if any DSP
+#                             kernel regresses by more than BENCH_TOL
+#                             percent (default 15; throughput is reported
+#                             but informational — see EXPERIMENTS.md)
 #   scripts/check.sh all      tier-1, then the whole workspace's tests, then smoke
 set -eu
 cd "$(dirname "$0")/.."
@@ -23,12 +28,22 @@ smoke() {
     ./target/release/smoke
 }
 
+bench() {
+    local tol="${BENCH_TOL:-15}"
+    echo "== bench: dspbench vs committed BENCH_dsp.json (tol ${tol}%) =="
+    cargo build --release -p uwb-bench --bin dspbench
+    UWB_THREADS=1 ./target/release/dspbench --check BENCH_dsp.json --tol "$tol"
+}
+
 case "$mode" in
 tier1)
     tier1
     ;;
 smoke)
     smoke
+    ;;
+bench)
+    bench
     ;;
 all)
     tier1
@@ -37,7 +52,7 @@ all)
     smoke
     ;;
 *)
-    echo "usage: scripts/check.sh [tier1|smoke|all]" >&2
+    echo "usage: scripts/check.sh [tier1|smoke|bench|all]" >&2
     exit 2
     ;;
 esac

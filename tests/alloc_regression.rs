@@ -1,0 +1,90 @@
+//! Allocation-regression gate for the zero-allocation DSP kernel layer.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after one
+//! warm-up trial has populated every pooled buffer (worker scratch, FFT
+//! plans, packet frame storage), subsequent gen2 fast-path trials must
+//! perform **zero** heap allocations. This pins the PR's core contract: the
+//! steady-state Monte-Carlo inner loop never touches the allocator.
+//!
+//! This integration-test binary deliberately contains a single `#[test]` so
+//! no concurrently running test can pollute the allocation counter. The
+//! matching 1-vs-N-thread determinism gate lives in
+//! `tests/montecarlo_determinism.rs`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use uwb_phy::Gen2Config;
+use uwb_platform::link::{LinkScenario, LinkWorker};
+use uwb_platform::ErrorCounter;
+use uwb_sim::Rand;
+
+/// System allocator wrapper that counts every allocation entry point.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that grows is a fresh allocation as far as the
+        // zero-alloc contract is concerned.
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+/// Steady-state gen2 fast-path trials allocate nothing: warm one trial,
+/// then run many more and require the global allocation counter to stand
+/// still. Uses the same smoke scenario as the Monte-Carlo engine and
+/// `dspbench` (AWGN, `preamble_repeats = 2`, 24-byte payload).
+#[test]
+fn gen2_fast_path_steady_state_is_allocation_free() {
+    let config = Gen2Config {
+        preamble_repeats: 2,
+        ..Gen2Config::nominal_100mbps()
+    };
+    let scenario = LinkScenario::awgn(config, 6.0, 20050307);
+    let mut worker = LinkWorker::new(&scenario);
+    let mut counter = ErrorCounter::default();
+
+    // Warm-up: builds FFT plans (cached per thread), sizes every pooled
+    // buffer in the worker, and settles the payload/frame storage.
+    for t in 0..3 {
+        let mut rng = Rand::for_trial(scenario.seed, t);
+        worker.trial_ber(&scenario, 24, &mut rng, &mut counter);
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    for t in 0..200 {
+        let mut rng = Rand::for_trial(scenario.seed, t);
+        worker.trial_ber(&scenario, 24, &mut rng, &mut counter);
+    }
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state fast-path trials must not allocate ({} allocations \
+         across 200 trials)",
+        after - before
+    );
+    // Sanity: the loop actually demodulated bits.
+    assert!(counter.total > 0, "trials produced no bits");
+}

@@ -57,7 +57,7 @@ fn main() {
             // trial draws an independent noise record from its derived
             // per-trial stream.
             let fa_run = MonteCarlo::new(EXPERIMENT_SEED ^ th.to_bits(), trials).run(
-                &mk_engine,
+                mk_engine,
                 |engine, _trial, rng, fa: &mut u64| {
                     let noise = complex_noise(period * 3, 1.0, rng);
                     if engine.acquire(&noise, period).detected {

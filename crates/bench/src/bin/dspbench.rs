@@ -24,9 +24,15 @@
 //!   "schema": "uwb-dspbench-v1",
 //!   "kernels_us": { "<name>": <median-microseconds-per-call>, ... },
 //!   "throughput_tps": { "full_path": <trials/s>, "fast_path": <trials/s> },
+//!   "stage_ns_per_trial": { "stage:<name>": <ns-per-trial>, ... },
 //!   "fft_plans_built": <count>
 //! }
 //! ```
+//!
+//! `stage_ns_per_trial` is the per-stage wall-clock profile of the full-path
+//! throughput loop (uwb-telemetry-v1 stage timers; empty when the `obs`
+//! feature is off). Keys are prefixed `stage:` and the regression checker
+//! skips them — the profile is informational, never a CI gate.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -153,12 +159,14 @@ fn run_kernels() -> Vec<Kernel> {
 /// (AWGN, preamble_repeats = 2, Eb/N0 = 6 dB, 24-byte payload) — one
 /// worker driven directly, exactly what each Monte-Carlo thread executes.
 ///
-/// Returns `(full_tps, fast_tps, plans_built)` where `plans_built` counts
-/// the FFT plans constructed over the whole section *including* warm-up —
-/// in the steady state this must equal the number of distinct transform
-/// sizes the link path touches (each size planned exactly once, never per
-/// trial), so the JSON number stays O(1) no matter how many trials run.
-fn run_throughput(trials: u64) -> (f64, f64, u64) {
+/// Returns `(full_tps, fast_tps, plans_built, telemetry)` where
+/// `plans_built` counts the FFT plans constructed over the whole section
+/// *including* warm-up — in the steady state this must equal the number of
+/// distinct transform sizes the link path touches (each size planned exactly
+/// once, never per trial), so the JSON number stays O(1) no matter how many
+/// trials run — and `telemetry` is the per-stage profile of the timed
+/// full-path loop (empty when the `obs` feature is off).
+fn run_throughput(trials: u64) -> (f64, f64, u64, uwb_obs::Telemetry) {
     let config = Gen2Config {
         preamble_repeats: 2,
         ..Gen2Config::nominal_100mbps()
@@ -172,12 +180,16 @@ fn run_throughput(trials: u64) -> (f64, f64, u64) {
     // Warm the buffers so the measurement sees the steady state.
     let mut rng = Rand::for_trial(scenario.seed, 0);
     worker.trial_full(&scenario, 24, &mut rng, &mut outcome);
+    // Drop the warm-up's stage timers so the profile covers exactly the
+    // timed loop below.
+    let _ = uwb_obs::take_thread_telemetry();
     let t0 = Instant::now();
     for t in 0..trials {
         let mut rng = Rand::for_trial(scenario.seed, t);
         worker.trial_full(&scenario, 24, &mut rng, &mut outcome);
     }
     let full_tps = trials as f64 / t0.elapsed().as_secs_f64();
+    let telemetry = uwb_obs::take_thread_telemetry();
 
     // Fast path (known-timing BER only).
     let mut counter = ErrorCounter::default();
@@ -190,10 +202,17 @@ fn run_throughput(trials: u64) -> (f64, f64, u64) {
     }
     let fast_tps = trials as f64 / t0.elapsed().as_secs_f64();
 
-    (full_tps, fast_tps, fft_plans_built() - plans_before)
+    (full_tps, fast_tps, fft_plans_built() - plans_before, telemetry)
 }
 
-fn render_json(kernels: &[Kernel], full_tps: f64, fast_tps: f64, plans_built: u64) -> String {
+fn render_json(
+    kernels: &[Kernel],
+    full_tps: f64,
+    fast_tps: f64,
+    plans_built: u64,
+    telemetry: &uwb_obs::Telemetry,
+    trials: u64,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"uwb-dspbench-v1\",\n");
@@ -206,6 +225,17 @@ fn render_json(kernels: &[Kernel], full_tps: f64, fast_tps: f64, plans_built: u6
     s.push_str("  \"throughput_tps\": {\n");
     s.push_str(&format!("    \"full_path\": {full_tps:.1},\n"));
     s.push_str(&format!("    \"fast_path\": {fast_tps:.1}\n"));
+    s.push_str("  },\n");
+    // Informational stage profile ("stage:"-prefixed keys are skipped by the
+    // regression checker). ns per trial, not per call, so stages that run
+    // more than once per trial still sum to the trial budget.
+    s.push_str("  \"stage_ns_per_trial\": {\n");
+    let stages = &telemetry.stages;
+    for (i, st) in stages.iter().enumerate() {
+        let comma = if i + 1 == stages.len() { "" } else { "," };
+        let per_trial = st.ns as f64 / trials.max(1) as f64;
+        s.push_str(&format!("    \"stage:{}\": {per_trial:.0}{comma}\n", st.name));
+    }
     s.push_str("  },\n");
     s.push_str(&format!("  \"fft_plans_built\": {plans_built}\n"));
     s.push_str("}\n");
@@ -265,7 +295,9 @@ fn check_against(baseline_path: &str, current: &str, tol_pct: f64) -> ExitCode {
     let mut failed = false;
     println!("{:<34} {:>12} {:>12} {:>9}", "metric", "baseline", "current", "delta");
     for (key, base_v) in &base {
-        if key == "schema" || key == "fft_plans_built" {
+        // "stage:" keys are the informational per-stage profile — never a
+        // gate (wall-clock, machine- and feature-dependent).
+        if key == "schema" || key == "fft_plans_built" || key.starts_with("stage:") {
             continue;
         }
         let Some((_, curr_v)) = curr.iter().find(|(k, _)| k == key) else {
@@ -349,9 +381,9 @@ fn main() -> ExitCode {
     // Throughput first, on a cold plan cache, so `fft_plans_built` reports
     // exactly how many distinct transform sizes the link path planned (each
     // once). The kernel section would otherwise pre-populate the cache.
-    let (full_tps, fast_tps, plans_built) = run_throughput(trials);
+    let (full_tps, fast_tps, plans_built, telemetry) = run_throughput(trials);
     let kernels = run_kernels();
-    let json = render_json(&kernels, full_tps, fast_tps, plans_built);
+    let json = render_json(&kernels, full_tps, fast_tps, plans_built, &telemetry, trials);
 
     for k in &kernels {
         println!("{:<34} {:>10.2} µs/call", k.name, k.us_per_call);
@@ -359,6 +391,13 @@ fn main() -> ExitCode {
     println!("{:<34} {:>10.1} trials/s (1 thread)", "full_path", full_tps);
     println!("{:<34} {:>10.1} trials/s (1 thread)", "fast_path", fast_tps);
     println!("{:<34} {:>10}", "fft_plans_built", plans_built);
+
+    // Per-stage profile of the full-path loop (uwb-telemetry-v1).
+    let profile = uwb_platform::report::stage_table(&telemetry);
+    if !profile.is_empty() {
+        println!("\nfull-path stage profile ({trials} trials):");
+        print!("{profile}");
+    }
 
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(&path, &json) {

@@ -11,7 +11,7 @@ use uwb_bench::{banner, EXPERIMENT_SEED};
 use uwb_phy::Gen2Config;
 use uwb_platform::link::{run_ber_fast, BerRun, LinkScenario};
 use uwb_platform::metrics::bpsk_awgn_ber;
-use uwb_platform::report::{format_rate, Table};
+use uwb_platform::report::{format_rate, stage_table, Table};
 use uwb_sim::montecarlo::resolve_threads;
 use uwb_sim::sv_channel::ChannelModel;
 
@@ -50,6 +50,7 @@ fn main() {
 
     let mut total_trials = 0u64;
     let mut total_wall = Duration::ZERO;
+    let mut telemetry = uwb_obs::Telemetry::default();
     for (label, channel) in [
         ("AWGN", ChannelModel::Awgn),
         ("CM1 (LOS, ~5 ns rms)", ChannelModel::Cm1),
@@ -93,6 +94,7 @@ fn main() {
             for run in [&rake, &mlse, &single] {
                 total_trials += run.stats.trials;
                 total_wall += run.stats.wall;
+                telemetry.merge(&run.stats.telemetry);
             }
             table.row(vec![
                 format!("{ebn0:.0}"),
@@ -105,13 +107,27 @@ fn main() {
         println!("\nchannel: {label}\n{table}");
     }
 
+    // Guarded rate: a sub-microsecond aggregate wall time (possible when every
+    // point is cached or trivially small) renders as "n/a" instead of a
+    // nonsense figure from a near-zero denominator.
+    let tps = if total_wall.as_secs_f64() < 1e-6 {
+        "n/a trials/s".to_string()
+    } else {
+        format!("{:.0} trials/s", total_trials as f64 / total_wall.as_secs_f64())
+    };
     println!(
         "\nengine: {total_trials} packet trials in {:.2} s on {} thread(s) \
-         ({:.0} trials/s); '*' marks runs truncated by the trial budget",
+         ({tps}); '*' marks runs truncated by the trial budget",
         total_wall.as_secs_f64(),
         resolve_threads(None),
-        total_trials as f64 / total_wall.as_secs_f64().max(1e-12),
     );
+
+    // Per-stage profile aggregated over every BER point (uwb-telemetry-v1).
+    let profile = stage_table(&telemetry);
+    if !profile.is_empty() {
+        println!("\nstage profile ({total_trials} trials, all points merged):");
+        print!("{profile}");
+    }
 
     println!(
         "expected shape (paper): the programmable RAKE + 4-bit channel estimate\n\

@@ -10,7 +10,7 @@
 use uwb_bench::{banner, EXPERIMENT_SEED};
 use uwb_phy::{Gen2Config, Gen2Transmitter, SpectralMonitor};
 use uwb_platform::link::{run_ber_fast, LinkScenario};
-use uwb_platform::report::{format_rate, Table};
+use uwb_platform::report::{format_rate, stage_table, Table};
 use uwb_sim::{Interferer, Rand};
 
 fn main() {
@@ -91,6 +91,19 @@ fn main() {
     println!("link impact at Eb/N0 = {ebn0} dB:\n{t2}");
     if c_clean.stop.truncated() || c_jam.stop.truncated() || c_notch.stop.truncated() {
         println!("warning: at least one run was truncated by the trial budget");
+    }
+
+    // Per-stage profile over the three link conditions (uwb-telemetry-v1).
+    // With the notch active the `notch` stage and `notch_retune` events appear;
+    // the clean/jammed runs contribute none.
+    let mut telemetry = uwb_obs::Telemetry::default();
+    for c in [&c_clean, &c_jam, &c_notch] {
+        telemetry.merge(&c.stats.telemetry);
+    }
+    let profile = stage_table(&telemetry);
+    if !profile.is_empty() {
+        println!("\nstage profile (clean + jammed + notched merged):");
+        print!("{profile}");
     }
 
     let ok = c_jam.rate() > 5.0 * c_clean.rate().max(1e-5)

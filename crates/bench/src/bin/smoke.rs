@@ -15,6 +15,15 @@ use uwb_phy::Gen2Config;
 use uwb_platform::link::{
     run_ber_budgeted, run_packet, run_ber_fast_budgeted, LinkOutcome, LinkScenario, TrialBudget,
 };
+use uwb_platform::report::stage_table;
+
+/// Renders a trials/sec figure that may be unavailable for untimed runs.
+fn tps(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1} trials/s"),
+        None => "n/a trials/s".to_string(),
+    }
+}
 
 /// `smoke --speedup [trials]`: measures trials/sec of the pre-engine runner
 /// behavior (serial loop, tx/rx rebuilt per packet — what `run_ber` did
@@ -53,12 +62,14 @@ fn speedup(trials: u64) -> ExitCode {
         before.as_secs_f64()
     );
     println!(
-        "after  (engine, {} thread(s)):    {}  ({:.1} trials/s)",
+        "after  (engine, {} thread(s)):    {}  ({})",
         run.stats.threads,
         run.stats.summary(),
-        after_tps
+        tps(after_tps)
     );
-    println!("speedup: {:.2}x", after_tps / before_tps);
+    if let Some(after) = after_tps {
+        println!("speedup: {:.2}x", after / before_tps);
+    }
 
     // Fast (BER-only) path rate, for comparison against the pre-PR
     // `run_ber_fast` (measure the seed commit with the same scenario to get
@@ -71,10 +82,10 @@ fn speedup(trials: u64) -> ExitCode {
         TrialBudget { max_trials: trials },
     );
     println!(
-        "fast path (engine, {} thread(s)): {}  ({:.1} trials/s)",
+        "fast path (engine, {} thread(s)): {}  ({})",
         fast.stats.threads,
         fast.stats.summary(),
-        fast.stats.trials_per_sec()
+        tps(fast.stats.trials_per_sec())
     );
     ExitCode::SUCCESS
 }
@@ -119,7 +130,8 @@ fn main() -> ExitCode {
     }
 
     // Determinism: the same run pinned to one worker thread must agree
-    // bit-for-bit with the free-threaded run above.
+    // bit-for-bit with the free-threaded run above — counters AND the
+    // deterministic telemetry view (stage call counts, events, histograms).
     std::env::set_var("UWB_THREADS", "1");
     let serial = run_ber_fast_budgeted(&scenario, 24, 20, 200_000, budget);
     std::env::remove_var("UWB_THREADS");
@@ -130,6 +142,25 @@ fn main() -> ExitCode {
             run.stats.threads, run.counter, serial.counter
         );
         failures += 1;
+    }
+    if serial.stats.telemetry.fingerprint() != run.stats.telemetry.fingerprint() {
+        eprintln!(
+            "FAIL: telemetry thread-count dependence: fingerprint {:#x} vs {:#x}",
+            run.stats.telemetry.fingerprint(),
+            serial.stats.telemetry.fingerprint()
+        );
+        failures += 1;
+    }
+    if uwb_obs::enabled() && run.stats.telemetry.is_empty() {
+        eprintln!("FAIL: telemetry enabled but the run snapshot is empty");
+        failures += 1;
+    }
+
+    // Per-stage profile of the multi-threaded run (uwb-telemetry-v1).
+    let profile = stage_table(&run.stats.telemetry);
+    if !profile.is_empty() {
+        println!("\nstage profile ({} trials):", run.stats.trials);
+        print!("{profile}");
     }
 
     if failures == 0 {

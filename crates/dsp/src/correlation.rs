@@ -126,7 +126,7 @@ pub fn cross_correlate_fft_into(
     fft.forward_in_place(&mut fa);
     fft.forward_in_place(&mut fb);
     for (x, y) in fa.iter_mut().zip(&fb) {
-        *x = *x * *y;
+        *x *= *y;
     }
     fft.inverse_in_place(&mut fa);
     // "valid" region starts at template.len()-1; copy it out exactly once.

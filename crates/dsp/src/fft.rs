@@ -94,6 +94,7 @@ impl Fft {
     pub fn new(n: usize) -> Self {
         assert!(n > 0 && n.is_power_of_two(), "FFT size must be a power of two");
         PLANS_BUILT.fetch_add(1, Ordering::Relaxed);
+        uwb_obs::counter!("fft_plans_built").inc();
         let bits = n.trailing_zeros();
         let mut rev = vec![0usize; n];
         if bits > 0 {
@@ -359,7 +360,7 @@ pub fn circular_convolve(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
     fft.forward_in_place(&mut fa);
     fft.forward_in_place(&mut fb);
     for (x, y) in fa.iter_mut().zip(&fb) {
-        *x = *x * *y;
+        *x *= *y;
     }
     fft.inverse_in_place(&mut fa);
     fa
@@ -384,7 +385,7 @@ pub fn fft_convolve(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
     fft.forward_in_place(&mut pa);
     fft.forward_in_place(&mut pb);
     for (x, y) in pa.iter_mut().zip(&pb) {
-        *x = *x * *y;
+        *x *= *y;
     }
     fft.inverse_in_place(&mut pa);
     pa.truncate(out_len);
@@ -417,7 +418,7 @@ pub fn fft_convolve_into(
     fft.forward_in_place(out);
     fft.forward_in_place(&mut pb);
     for (x, y) in out.iter_mut().zip(&pb) {
-        *x = *x * *y;
+        *x *= *y;
     }
     fft.inverse_in_place(out);
     out.truncate(out_len);

@@ -1,0 +1,337 @@
+//! Per-thread collection state: stage timers, event counts, histograms.
+//!
+//! Every collector slot is a const-initialised `Cell<u64>` inside a
+//! `thread_local!` block — no lazy allocation, no locking, no atomic RMW on
+//! the warm path. [`take_thread_telemetry`] drains the thread's state into a
+//! [`Telemetry`] snapshot (zeroing the slots), which the Monte-Carlo engine
+//! merges in deterministic chunk order.
+
+#[cfg(feature = "obs")]
+use crate::registry::{self, EventId, HistId};
+#[cfg(not(feature = "obs"))]
+use crate::registry::{EventId, HistId};
+
+use crate::registry::StageId;
+use crate::telemetry::Telemetry;
+
+#[cfg(feature = "obs")]
+use crate::telemetry::{log2_bin, EventStat, HistStat, StageStat, HIST_BINS};
+#[cfg(feature = "obs")]
+use std::cell::Cell;
+#[cfg(feature = "obs")]
+use std::time::Instant;
+
+#[cfg(feature = "obs")]
+use crate::registry::{MAX_EVENTS, MAX_HISTS, MAX_STAGES};
+
+// ---------------------------------------------------------------------------
+// Thread-local collector (obs on)
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "obs")]
+struct Collector {
+    stage_ns: [Cell<u64>; MAX_STAGES],
+    stage_calls: [Cell<u64>; MAX_STAGES],
+    events: [Cell<u64>; MAX_EVENTS],
+    hist_n: [Cell<u64>; MAX_HISTS],
+    hist_sum: [Cell<u64>; MAX_HISTS],
+    hist_bins: [[Cell<u64>; HIST_BINS]; MAX_HISTS],
+    trial: Cell<u64>,
+}
+
+#[cfg(feature = "obs")]
+impl Collector {
+    const fn new() -> Self {
+        Collector {
+            stage_ns: [const { Cell::new(0) }; MAX_STAGES],
+            stage_calls: [const { Cell::new(0) }; MAX_STAGES],
+            events: [const { Cell::new(0) }; MAX_EVENTS],
+            hist_n: [const { Cell::new(0) }; MAX_HISTS],
+            hist_sum: [const { Cell::new(0) }; MAX_HISTS],
+            hist_bins: [const { [const { Cell::new(0) }; HIST_BINS] }; MAX_HISTS],
+            trial: Cell::new(0),
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+thread_local! {
+    static TLS: Collector = const { Collector::new() };
+}
+
+// ---------------------------------------------------------------------------
+// Trial tagging
+// ---------------------------------------------------------------------------
+
+/// Tags subsequent events on this thread with the given Monte-Carlo trial
+/// index (shows up in the ring buffer entries).
+#[cfg(feature = "obs")]
+#[inline]
+pub fn set_trial(trial: u64) {
+    TLS.with(|c| c.trial.set(trial));
+}
+
+/// No-op (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+#[inline(always)]
+pub fn set_trial(_trial: u64) {}
+
+/// The trial index most recently set on this thread via [`set_trial`].
+#[cfg(feature = "obs")]
+#[inline]
+pub fn current_trial() -> u64 {
+    TLS.with(|c| c.trial.get())
+}
+
+/// Always 0 (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+#[inline(always)]
+pub fn current_trial() -> u64 {
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Stage timers
+// ---------------------------------------------------------------------------
+
+/// RAII guard accumulating wall nanoseconds (and one call) into a stage's
+/// per-thread slot on drop. Construct via [`crate::span!`].
+#[cfg(feature = "obs")]
+pub struct StageTimer {
+    id: StageId,
+    t0: Instant,
+}
+
+#[cfg(feature = "obs")]
+impl StageTimer {
+    /// Starts timing the given stage (no-op guard if `id` is the sentinel).
+    #[inline]
+    pub fn start(id: StageId) -> StageTimer {
+        StageTimer {
+            id,
+            t0: Instant::now(),
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+impl Drop for StageTimer {
+    #[inline]
+    fn drop(&mut self) {
+        if self.id == StageId::NONE {
+            return;
+        }
+        let ns = self.t0.elapsed().as_nanos() as u64;
+        let i = self.id.0 as usize;
+        TLS.with(|c| {
+            c.stage_ns[i].set(c.stage_ns[i].get().wrapping_add(ns));
+            c.stage_calls[i].set(c.stage_calls[i].get() + 1);
+        });
+    }
+}
+
+/// Zero-sized no-op guard (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+pub struct StageTimer;
+
+#[cfg(not(feature = "obs"))]
+impl StageTimer {
+    /// No-op.
+    #[inline(always)]
+    pub fn start(_id: StageId) -> StageTimer {
+        StageTimer
+    }
+}
+
+/// Empty `Drop` so call sites may end a span early with `drop(timer)`
+/// without tripping `clippy::drop_non_drop` in the no-op build; the
+/// optimizer erases it entirely.
+#[cfg(not(feature = "obs"))]
+impl Drop for StageTimer {
+    #[inline(always)]
+    fn drop(&mut self) {}
+}
+
+// ---------------------------------------------------------------------------
+// Event / histogram recording (called from the macros)
+// ---------------------------------------------------------------------------
+
+/// Bumps the per-thread count for the event and pushes a trial-tagged entry
+/// onto the global ring buffer. Called by [`crate::event!`]; not public API.
+#[cfg(feature = "obs")]
+#[doc(hidden)]
+#[inline]
+pub fn record_event(id: EventId, name: &'static str, value: u64) {
+    if id == EventId::NONE {
+        return;
+    }
+    let trial = TLS.with(|c| {
+        let i = id.0 as usize;
+        c.events[i].set(c.events[i].get() + 1);
+        c.trial.get()
+    });
+    crate::ring::push(name, trial, value);
+}
+
+/// No-op (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+#[doc(hidden)]
+#[inline(always)]
+pub fn record_event(_id: EventId, _name: &'static str, _value: u64) {}
+
+/// Records `value` into the histogram's per-thread log2 bins. Called by
+/// [`crate::hist!`]; not public API.
+#[cfg(feature = "obs")]
+#[doc(hidden)]
+#[inline]
+pub fn record_hist(id: HistId, value: u64) {
+    if id == HistId::NONE {
+        return;
+    }
+    let i = id.0 as usize;
+    let b = log2_bin(value);
+    TLS.with(|c| {
+        c.hist_n[i].set(c.hist_n[i].get() + 1);
+        c.hist_sum[i].set(c.hist_sum[i].get().wrapping_add(value));
+        c.hist_bins[i][b].set(c.hist_bins[i][b].get() + 1);
+    });
+}
+
+/// No-op (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+#[doc(hidden)]
+#[inline(always)]
+pub fn record_hist(_id: HistId, _value: u64) {}
+
+// ---------------------------------------------------------------------------
+// Draining
+// ---------------------------------------------------------------------------
+
+/// Drains this thread's collector into a [`Telemetry`] snapshot, zeroing
+/// every slot (take semantics). The snapshot's entries are sorted by name.
+///
+/// With the `obs` feature off this allocates nothing and returns an empty
+/// snapshot.
+#[cfg(feature = "obs")]
+pub fn take_thread_telemetry() -> Telemetry {
+    let stage_names = registry::stage_names();
+    let event_names = registry::event_names();
+    let hist_names = registry::hist_names();
+
+    TLS.with(|c| {
+        let mut stages: Vec<StageStat> = Vec::new();
+        for (i, name) in stage_names.iter().enumerate() {
+            let calls = c.stage_calls[i].replace(0);
+            let ns = c.stage_ns[i].replace(0);
+            if calls > 0 || ns > 0 {
+                stages.push(StageStat { name, calls, ns });
+            }
+        }
+        let mut events: Vec<EventStat> = Vec::new();
+        for (i, name) in event_names.iter().enumerate() {
+            let count = c.events[i].replace(0);
+            if count > 0 {
+                events.push(EventStat { name, count });
+            }
+        }
+        let mut hists: Vec<HistStat> = Vec::new();
+        for (i, name) in hist_names.iter().enumerate() {
+            let count = c.hist_n[i].replace(0);
+            let sum = c.hist_sum[i].replace(0);
+            let mut bins: Vec<(u8, u64)> = Vec::new();
+            for (b, cell) in c.hist_bins[i].iter().enumerate() {
+                let n = cell.replace(0);
+                if n > 0 {
+                    bins.push((b as u8, n));
+                }
+            }
+            if count > 0 {
+                hists.push(HistStat {
+                    name,
+                    count,
+                    sum,
+                    bins,
+                });
+            }
+        }
+        stages.sort_unstable_by_key(|s| s.name);
+        events.sort_unstable_by_key(|e| e.name);
+        hists.sort_unstable_by_key(|h| h.name);
+        Telemetry {
+            stages,
+            events,
+            hists,
+        }
+    })
+}
+
+/// Empty snapshot (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+#[inline]
+pub fn take_thread_telemetry() -> Telemetry {
+    Telemetry::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_accumulates_and_drains() {
+        let _ = take_thread_telemetry(); // clear residue from other tests
+        {
+            let _t = crate::span!("collect_test_stage");
+            std::hint::black_box(0u64);
+        }
+        {
+            let _t = crate::span!("collect_test_stage");
+            std::hint::black_box(0u64);
+        }
+        let snap = take_thread_telemetry();
+        if crate::enabled() {
+            let s = snap.stage("collect_test_stage").expect("stage present");
+            assert_eq!(s.calls, 2);
+            // second drain is empty
+            let snap2 = take_thread_telemetry();
+            assert!(snap2.stage("collect_test_stage").is_none());
+        } else {
+            assert!(snap.is_empty());
+        }
+    }
+
+    #[test]
+    fn events_and_hists_drain() {
+        let _ = take_thread_telemetry();
+        crate::event!("collect_test_event");
+        crate::event!("collect_test_event", 9u64);
+        crate::hist!("collect_test_hist", 5u64);
+        crate::hist!("collect_test_hist", 0u64);
+        let snap = take_thread_telemetry();
+        if crate::enabled() {
+            assert_eq!(snap.event_count("collect_test_event"), 2);
+            let h = snap
+                .hists
+                .iter()
+                .find(|h| h.name == "collect_test_hist")
+                .expect("hist present");
+            assert_eq!(h.count, 2);
+            assert_eq!(h.sum, 5);
+            // 5 has 3 significant bits -> bin 3; 0 -> bin 0
+            assert!(h.bins.contains(&(0, 1)));
+            assert!(h.bins.contains(&(3, 1)));
+        } else {
+            assert!(snap.is_empty());
+        }
+    }
+
+    #[test]
+    fn trial_tag_roundtrip() {
+        set_trial(41);
+        if crate::enabled() {
+            assert_eq!(current_trial(), 41);
+        } else {
+            assert_eq!(current_trial(), 0);
+        }
+        set_trial(0);
+    }
+}

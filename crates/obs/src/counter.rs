@@ -1,0 +1,189 @@
+//! Sharded atomic counters and gauges.
+//!
+//! A [`ShardedCounter`] spreads increments over [`COUNTER_SHARDS`]
+//! cache-line-padded atomic cells — each thread hashes to a home shard, so
+//! concurrent `add`s from different workers never bounce the same cache
+//! line. [`ShardedCounter::get`] merges the shards in fixed index order
+//! (u64 wrapping addition is order-independent, but the deterministic order
+//! mirrors the Monte-Carlo engine's ordered-prefix merge contract and keeps
+//! the read path auditable).
+//!
+//! With the `obs` feature off, `add`/`set` are empty inline functions — the
+//! types still exist so instrumented code compiles unchanged.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards per counter (power of two, each on its own cache line).
+pub const COUNTER_SHARDS: usize = 16;
+
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+/// A process-wide counter sharded across padded atomic cells.
+pub struct ShardedCounter {
+    shards: [Shard; COUNTER_SHARDS],
+}
+
+#[cfg(feature = "obs")]
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(not(feature = "obs"))]
+#[allow(dead_code)]
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(feature = "obs")]
+#[inline]
+fn home_shard() -> usize {
+    thread_local! {
+        static HOME: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+    }
+    HOME.with(|h| *h)
+}
+
+impl ShardedCounter {
+    /// A zeroed counter (usable in `static` position).
+    pub const fn new() -> Self {
+        ShardedCounter {
+            shards: [const { Shard(AtomicU64::new(0)) }; COUNTER_SHARDS],
+        }
+    }
+
+    /// Adds `v` to the calling thread's home shard.
+    #[cfg(feature = "obs")]
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.shards[home_shard()].0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// No-op (`obs` feature off).
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub fn add(&self, _v: u64) {}
+
+    /// Convenience for `add(1)`.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Merges the shards in fixed index order and returns the total.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(s.0.load(Ordering::Relaxed)))
+    }
+
+    /// Zeroes every shard (test/bench hygiene — racy against concurrent
+    /// `add`s by design; the merged value is only exact at quiescence).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        ShardedCounter::new()
+    }
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardedCounter({})", self.get())
+    }
+}
+
+/// Shared dead counter returned by the no-op [`crate::counter!`] expansion.
+pub static NOOP_COUNTER: ShardedCounter = ShardedCounter::new();
+
+/// A process-wide last-write-wins gauge (a single relaxed atomic).
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge (usable in `static` position).
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Stores `v` (last write wins).
+    #[cfg(feature = "obs")]
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// No-op (`obs` feature off).
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub fn set(&self, _v: u64) {}
+
+    /// The last stored value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// Shared dead gauge returned by the no-op [`crate::gauge!`] expansion.
+pub static NOOP_GAUGE: Gauge = Gauge::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = ShardedCounter::new();
+        for _ in 0..10 {
+            c.inc();
+        }
+        c.add(5);
+        if crate::enabled() {
+            assert_eq!(c.get(), 15);
+        } else {
+            assert_eq!(c.get(), 0);
+        }
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn counter_merges_across_threads() {
+        let c = ShardedCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(42);
+        if crate::enabled() {
+            assert_eq!(g.get(), 42);
+        } else {
+            assert_eq!(g.get(), 0);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! # uwb-obs — zero-overhead telemetry for the UWB reproduction
+//!
+//! The paper's receiver must *adapt* (power/QoS/data-rate, interferer
+//! monitoring) based on what the pipeline observes at runtime, and more than
+//! half of the system's power sits in the digital back end — so knowing
+//! *where* per-trial time goes and *why* a packet failed is part of the
+//! architecture, not an afterthought. This crate provides the measurement
+//! substrate used by every other crate in the workspace:
+//!
+//! * **stage timers** — [`span!`] / [`StageTimer`]: RAII nanosecond
+//!   accumulators with preallocated per-thread slots (zero heap allocation
+//!   on the warm path);
+//! * **events** — [`event!`]: deterministic per-thread counts of rare
+//!   happenings (acquisition miss, CRC failure, notch retune) plus a
+//!   bounded global ring buffer of the most recent occurrences, tagged with
+//!   the Monte-Carlo trial that produced them;
+//! * **histograms** — [`hist!`]: fixed-bin log2 histograms of deterministic
+//!   per-trial quantities (bit errors per trial, acquisition offsets);
+//! * **sharded counters / gauges** — [`counter!`] / [`gauge!`]: process-wide
+//!   registry metrics with per-thread shards, merged in deterministic shard
+//!   order (u64 wrapping addition, so the merged value is order-independent
+//!   anyway — the fixed order mirrors the Monte-Carlo merge contract);
+//! * **snapshots** — [`Telemetry`]: a mergeable, JSON-renderable snapshot of
+//!   a thread's stage/event/histogram state, drained per Monte-Carlo chunk
+//!   and merged in deterministic chunk order by `uwb_sim::montecarlo`.
+//!
+//! ## The `obs` feature
+//!
+//! With the `obs` feature **off** (the default for bare library consumers),
+//! every macro and collection function compiles to a no-op: [`StageTimer`]
+//! is a zero-sized type, [`event!`]/[`hist!`] expand to dead borrows the
+//! optimizer deletes, and [`take_thread_telemetry`] returns an empty
+//! [`Telemetry`]. The umbrella `uwb` crate and the experiment binaries
+//! enable the feature by default.
+//!
+//! ## Determinism contract
+//!
+//! Stage *call counts*, *event counts*, and *histogram bins* depend only on
+//! the executed trials, so — drained per chunk and merged in chunk order —
+//! they are bit-identical for any `UWB_THREADS`. Stage *nanosecond totals*
+//! are wall-clock measurements and are explicitly excluded from that
+//! contract; [`Telemetry::to_json_deterministic`] and
+//! [`Telemetry::fingerprint`] omit them.
+//!
+//! ## Example
+//!
+//! ```
+//! fn work() {
+//!     let _t = uwb_obs::span!("demo_stage");
+//!     uwb_obs::hist!("demo_values", 37u64);
+//!     uwb_obs::event!("demo_event");
+//! }
+//! work();
+//! let snap = uwb_obs::take_thread_telemetry();
+//! if uwb_obs::enabled() {
+//!     assert_eq!(snap.stages[0].name, "demo_stage");
+//!     assert_eq!(snap.stages[0].calls, 1);
+//! } else {
+//!     assert!(snap.is_empty());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod json;
+pub mod telemetry;
+
+mod collect;
+mod registry;
+mod ring;
+
+pub use collect::{current_trial, set_trial, take_thread_telemetry, StageTimer};
+#[doc(hidden)]
+pub use collect::{record_event, record_hist};
+pub use counter::{Gauge, ShardedCounter, COUNTER_SHARDS};
+pub use registry::{
+    register_counter, register_event, register_gauge, register_hist, register_stage,
+    registered_counters, registered_gauges, EventId, GaugeId, HistId, StageId, MAX_EVENTS,
+    MAX_HISTS, MAX_STAGES,
+};
+pub use ring::{clear_events, recent_events, Event, RING_CAP};
+pub use telemetry::{EventStat, HistStat, StageStat, Telemetry, HIST_BINS};
+
+/// `true` when this build collects telemetry (the `obs` feature is on).
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+// ---------------------------------------------------------------------------
+// Macros — real collectors with `obs`, dead no-ops without.
+// ---------------------------------------------------------------------------
+
+/// Starts an RAII stage timer: nanoseconds between this call and the guard's
+/// drop are accumulated into the named stage's preallocated per-thread slot.
+///
+/// ```
+/// let _t = uwb_obs::span!("rake");
+/// // ... stage body ...
+/// ```
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __UWB_OBS_STAGE: ::std::sync::OnceLock<$crate::StageId> =
+            ::std::sync::OnceLock::new();
+        $crate::StageTimer::start(*__UWB_OBS_STAGE.get_or_init(|| $crate::register_stage($name)))
+    }};
+}
+
+/// No-op form (`obs` feature off): a zero-sized guard.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        let _ = &$name;
+        $crate::StageTimer::start($crate::StageId::NONE)
+    }};
+}
+
+/// Records one occurrence of a named rare event (optionally with a `u64`
+/// payload): bumps the deterministic per-thread count and pushes a
+/// trial-tagged entry onto the bounded global ring buffer.
+///
+/// ```
+/// uwb_obs::event!("acq_miss");
+/// uwb_obs::event!("notch_retune", 150_000_000u64);
+/// ```
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::event!($name, 0u64)
+    };
+    ($name:expr, $value:expr) => {{
+        static __UWB_OBS_EVENT: ::std::sync::OnceLock<$crate::EventId> =
+            ::std::sync::OnceLock::new();
+        let __id = *__UWB_OBS_EVENT.get_or_init(|| $crate::register_event($name));
+        $crate::record_event(__id, $name, $value);
+    }};
+}
+
+/// No-op form (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {{
+        let _ = &$name;
+    }};
+    ($name:expr, $value:expr) => {{
+        let _ = (&$name, &$value);
+    }};
+}
+
+/// Records a `u64` sample into the named fixed-bin log2 histogram
+/// (bin 0 holds zeros; bin *k* holds values with *k* significant bits).
+///
+/// ```
+/// uwb_obs::hist!("trial_bit_errors", 3u64);
+/// ```
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! hist {
+    ($name:expr, $value:expr) => {{
+        static __UWB_OBS_HIST: ::std::sync::OnceLock<$crate::HistId> =
+            ::std::sync::OnceLock::new();
+        let __id = *__UWB_OBS_HIST.get_or_init(|| $crate::register_hist($name));
+        $crate::record_hist(__id, $value);
+    }};
+}
+
+/// No-op form (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! hist {
+    ($name:expr, $value:expr) => {{
+        let _ = (&$name, &$value);
+    }};
+}
+
+/// Resolves (registering on first use) a named process-wide
+/// [`ShardedCounter`] from the static registry.
+///
+/// ```
+/// uwb_obs::counter!("fft_plans_built").add(1);
+/// ```
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __UWB_OBS_CTR: ::std::sync::OnceLock<&'static $crate::ShardedCounter> =
+            ::std::sync::OnceLock::new();
+        *__UWB_OBS_CTR.get_or_init(|| $crate::register_counter($name))
+    }};
+}
+
+/// No-op form (`obs` feature off): a shared dead counter.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        let _ = &$name;
+        &$crate::counter::NOOP_COUNTER
+    }};
+}
+
+/// Resolves (registering on first use) a named process-wide [`Gauge`].
+///
+/// ```
+/// uwb_obs::gauge!("agc_gain_milli").set(1287);
+/// ```
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __UWB_OBS_GAUGE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        *__UWB_OBS_GAUGE.get_or_init(|| $crate::register_gauge($name))
+    }};
+}
+
+/// No-op form (`obs` feature off): a shared dead gauge.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        let _ = &$name;
+        &$crate::counter::NOOP_GAUGE
+    }};
+}

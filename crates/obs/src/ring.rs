@@ -1,0 +1,122 @@
+//! Bounded global ring buffer of recent rare events.
+//!
+//! Fixed-capacity (`[Event; RING_CAP]`) storage under a const-initialised
+//! `Mutex` — pushing never allocates. Each entry carries the Monte-Carlo
+//! trial that produced it (via [`crate::set_trial`]) plus a monotonically
+//! increasing sequence number so readers can order entries across wraps.
+//!
+//! The ring is *diagnostic*, not part of the determinism contract: entry
+//! order depends on thread interleaving. Deterministic per-event counts live
+//! in [`crate::Telemetry`].
+
+#[cfg(feature = "obs")]
+use std::sync::Mutex;
+
+/// Capacity of the global event ring.
+pub const RING_CAP: usize = 256;
+
+/// One recorded rare event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Registered event name.
+    pub name: &'static str,
+    /// Monte-Carlo trial active on the recording thread (0 if untagged).
+    pub trial: u64,
+    /// Optional payload (e.g. a retuned notch frequency in Hz).
+    pub value: u64,
+    /// Global sequence number (monotone; orders entries across ring wraps).
+    pub seq: u64,
+}
+
+#[cfg(feature = "obs")]
+struct Ring {
+    buf: [Event; RING_CAP],
+    /// Total number of events ever pushed (next seq).
+    pushed: u64,
+}
+
+#[cfg(feature = "obs")]
+const EMPTY: Event = Event {
+    name: "",
+    trial: 0,
+    value: 0,
+    seq: 0,
+};
+
+#[cfg(feature = "obs")]
+static RING: Mutex<Ring> = Mutex::new(Ring {
+    buf: [EMPTY; RING_CAP],
+    pushed: 0,
+});
+
+/// Pushes an event (called from [`crate::event!`] via the collector).
+#[cfg(feature = "obs")]
+pub(crate) fn push(name: &'static str, trial: u64, value: u64) {
+    let mut ring = RING.lock().expect("obs ring poisoned");
+    let seq = ring.pushed;
+    let slot = (seq % RING_CAP as u64) as usize;
+    ring.buf[slot] = Event {
+        name,
+        trial,
+        value,
+        seq,
+    };
+    ring.pushed = seq + 1;
+}
+
+#[cfg(not(feature = "obs"))]
+#[allow(dead_code)]
+pub(crate) fn push(_name: &'static str, _trial: u64, _value: u64) {}
+
+/// Snapshot of the retained events, oldest first.
+#[cfg(feature = "obs")]
+pub fn recent_events() -> Vec<Event> {
+    let ring = RING.lock().expect("obs ring poisoned");
+    let n = ring.pushed.min(RING_CAP as u64) as usize;
+    let mut out = Vec::with_capacity(n);
+    let start = ring.pushed - n as u64;
+    for s in start..ring.pushed {
+        out.push(ring.buf[(s % RING_CAP as u64) as usize]);
+    }
+    out
+}
+
+/// Always empty (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+pub fn recent_events() -> Vec<Event> {
+    Vec::new()
+}
+
+/// Empties the ring (test hygiene).
+#[cfg(feature = "obs")]
+pub fn clear_events() {
+    let mut ring = RING.lock().expect("obs ring poisoned");
+    ring.buf = [EMPTY; RING_CAP];
+    ring.pushed = 0;
+}
+
+/// No-op (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+pub fn clear_events() {}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_most_recent_and_orders_by_seq() {
+        clear_events();
+        for i in 0..(RING_CAP as u64 + 10) {
+            push("ring_test", i, i * 2);
+        }
+        let events = recent_events();
+        assert_eq!(events.len(), RING_CAP);
+        // Oldest retained entry is seq 10; newest is seq RING_CAP+9.
+        assert_eq!(events.first().unwrap().seq, 10);
+        assert_eq!(events.last().unwrap().seq, RING_CAP as u64 + 9);
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert_eq!(events.last().unwrap().value, (RING_CAP as u64 + 9) * 2);
+        clear_events();
+        assert!(recent_events().is_empty());
+    }
+}

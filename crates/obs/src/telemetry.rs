@@ -1,0 +1,422 @@
+//! [`Telemetry`] — a mergeable snapshot of stage timers, event counts, and
+//! log2 histograms.
+//!
+//! Snapshots are drained per Monte-Carlo chunk by
+//! [`crate::take_thread_telemetry`] and merged in deterministic chunk order
+//! (the same ordered-prefix reduction the engine applies to trial results).
+//! Entries are kept **sorted by name** as a struct invariant so merge is a
+//! linear merge-join and rendered output never depends on registration
+//! order (which can race across threads).
+
+/// Number of log2 bins per histogram: bin 0 holds zero values, bin `k`
+/// (1 ≤ k ≤ 63) holds values with `k` significant bits, i.e.
+/// `2^(k-1) ≤ v < 2^k`; values with ≥ 63 bits saturate into bin 63.
+pub const HIST_BINS: usize = 64;
+
+/// Returns the log2 bin index for a sample.
+#[inline]
+#[cfg_attr(not(feature = "obs"), allow(dead_code))]
+pub(crate) fn log2_bin(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BINS - 1)
+    }
+}
+
+/// Accumulated time and call count for one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStat {
+    /// Stage name (a registered static string).
+    pub name: &'static str,
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Total nanoseconds across those spans (wall-clock: **excluded** from
+    /// the determinism contract).
+    pub ns: u64,
+}
+
+/// Count of one event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventStat {
+    /// Event name (a registered static string).
+    pub name: &'static str,
+    /// Occurrences.
+    pub count: u64,
+}
+
+/// A sparse fixed-bin log2 histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistStat {
+    /// Histogram name (a registered static string).
+    pub name: &'static str,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Non-empty `(bin, count)` pairs, sorted by bin index.
+    pub bins: Vec<(u8, u64)>,
+}
+
+/// A mergeable telemetry snapshot: per-stage time/calls, event counts, and
+/// histograms — the "where did the time go / why did it fail" record that
+/// rides on `uwb_sim::montecarlo::RunStats`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    /// Stage statistics, sorted by name.
+    pub stages: Vec<StageStat>,
+    /// Event counts, sorted by name.
+    pub events: Vec<EventStat>,
+    /// Histograms, sorted by name.
+    pub hists: Vec<HistStat>,
+}
+
+/// Merge-joins two name-sorted vectors with `combine` on name collisions.
+fn merge_by_name<T: Clone>(
+    dst: &mut Vec<T>,
+    src: &[T],
+    name: impl Fn(&T) -> &'static str,
+    combine: impl Fn(&mut T, &T),
+) {
+    if src.is_empty() {
+        return;
+    }
+    let mut out = Vec::with_capacity(dst.len() + src.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < dst.len() && j < src.len() {
+        match name(&dst[i]).cmp(name(&src[j])) {
+            std::cmp::Ordering::Less => {
+                out.push(dst[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(src[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let mut merged = dst[i].clone();
+                combine(&mut merged, &src[j]);
+                out.push(merged);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&dst[i..]);
+    out.extend_from_slice(&src[j..]);
+    *dst = out;
+}
+
+impl Telemetry {
+    /// `true` when nothing was recorded (always true with `obs` off).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty() && self.events.is_empty() && self.hists.is_empty()
+    }
+
+    /// Folds `other` into `self` (adds calls/ns/counts/bins by name).
+    /// Associative; the Monte-Carlo engine only applies it in ascending
+    /// chunk order, matching the trial-result merge contract.
+    pub fn merge(&mut self, other: &Telemetry) {
+        merge_by_name(
+            &mut self.stages,
+            &other.stages,
+            |s| s.name,
+            |a, b| {
+                a.calls += b.calls;
+                a.ns += b.ns;
+            },
+        );
+        merge_by_name(
+            &mut self.events,
+            &other.events,
+            |e| e.name,
+            |a, b| a.count += b.count,
+        );
+        merge_by_name(
+            &mut self.hists,
+            &other.hists,
+            |h| h.name,
+            |a, b| {
+                a.count += b.count;
+                a.sum = a.sum.wrapping_add(b.sum);
+                // Merge-join the sparse bin lists.
+                let mut bins = Vec::with_capacity(a.bins.len() + b.bins.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < a.bins.len() && j < b.bins.len() {
+                    match a.bins[i].0.cmp(&b.bins[j].0) {
+                        std::cmp::Ordering::Less => {
+                            bins.push(a.bins[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            bins.push(b.bins[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            bins.push((a.bins[i].0, a.bins[i].1 + b.bins[j].1));
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                bins.extend_from_slice(&a.bins[i..]);
+                bins.extend_from_slice(&b.bins[j..]);
+                a.bins = bins;
+            },
+        );
+    }
+
+    /// Total nanoseconds across all stages.
+    pub fn total_stage_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.ns).sum()
+    }
+
+    /// Count for a named event (0 when never recorded).
+    pub fn event_count(&self, name: &str) -> u64 {
+        self.events
+            .iter()
+            .find(|e| e.name == name)
+            .map_or(0, |e| e.count)
+    }
+
+    /// Stage statistics for a named stage, if recorded.
+    pub fn stage(&self, name: &str) -> Option<&StageStat> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the snapshot as hand-rolled JSON (no serde), **including**
+    /// the wall-clock `ns` fields. Shape:
+    ///
+    /// ```json
+    /// {"stages":[{"name":"tx","calls":8,"ns":12345}],
+    ///  "events":[{"name":"crc_fail","count":2}],
+    ///  "hists":[{"name":"trial_bit_errors","count":8,"sum":3,
+    ///            "bins":[[0,5],[1,3]]}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// [`Telemetry::to_json`] with every wall-clock field omitted: the
+    /// result is **bit-identical across thread counts** for a deterministic
+    /// Monte-Carlo run (the determinism-gate form).
+    pub fn to_json_deterministic(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, with_timing: bool) -> String {
+        let mut s = String::from("{\"stages\":[");
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            if with_timing {
+                s.push_str(&format!(
+                    "{{\"name\":{},\"calls\":{},\"ns\":{}}}",
+                    crate::json::escape(st.name),
+                    st.calls,
+                    st.ns
+                ));
+            } else {
+                s.push_str(&format!(
+                    "{{\"name\":{},\"calls\":{}}}",
+                    crate::json::escape(st.name),
+                    st.calls
+                ));
+            }
+        }
+        s.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":{},\"count\":{}}}",
+                crate::json::escape(e.name),
+                e.count
+            ));
+        }
+        s.push_str("],\"hists\":[");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":{},\"count\":{},\"sum\":{},\"bins\":[",
+                crate::json::escape(h.name),
+                h.count,
+                h.sum
+            ));
+            for (j, (bin, n)) in h.bins.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("[{bin},{n}]"));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// FNV-1a hash over the deterministic content (names, call counts,
+    /// event counts, histogram bins — **not** nanoseconds): two runs with
+    /// the same contributing trials produce the same fingerprint regardless
+    /// of thread count.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for s in &self.stages {
+            eat(s.name.as_bytes());
+            eat(&s.calls.to_le_bytes());
+        }
+        for e in &self.events {
+            eat(e.name.as_bytes());
+            eat(&e.count.to_le_bytes());
+        }
+        for hh in &self.hists {
+            eat(hh.name.as_bytes());
+            eat(&hh.count.to_le_bytes());
+            eat(&hh.sum.to_le_bytes());
+            for (bin, n) in &hh.bins {
+                eat(&[*bin]);
+                eat(&n.to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Telemetry {
+        Telemetry {
+            stages: vec![
+                StageStat {
+                    name: "acq",
+                    calls: 2,
+                    ns: 100,
+                },
+                StageStat {
+                    name: "tx",
+                    calls: 4,
+                    ns: 50,
+                },
+            ],
+            events: vec![EventStat {
+                name: "crc_fail",
+                count: 1,
+            }],
+            hists: vec![HistStat {
+                name: "errs",
+                count: 3,
+                sum: 5,
+                bins: vec![(0, 1), (2, 2)],
+            }],
+        }
+    }
+
+    #[test]
+    fn log2_binning() {
+        assert_eq!(log2_bin(0), 0);
+        assert_eq!(log2_bin(1), 1);
+        assert_eq!(log2_bin(2), 2);
+        assert_eq!(log2_bin(3), 2);
+        assert_eq!(log2_bin(4), 3);
+        assert_eq!(log2_bin(1023), 10);
+        assert_eq!(log2_bin(1024), 11);
+        assert_eq!(log2_bin(u64::MAX), 63);
+    }
+
+    #[test]
+    fn merge_adds_and_interleaves() {
+        let mut a = sample();
+        let b = Telemetry {
+            stages: vec![
+                StageStat {
+                    name: "rake",
+                    calls: 1,
+                    ns: 7,
+                },
+                StageStat {
+                    name: "tx",
+                    calls: 1,
+                    ns: 3,
+                },
+            ],
+            events: vec![
+                EventStat {
+                    name: "acq_miss",
+                    count: 2,
+                },
+                EventStat {
+                    name: "crc_fail",
+                    count: 4,
+                },
+            ],
+            hists: vec![HistStat {
+                name: "errs",
+                count: 1,
+                sum: 9,
+                bins: vec![(2, 1), (4, 1)],
+            }],
+        };
+        a.merge(&b);
+        let names: Vec<_> = a.stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["acq", "rake", "tx"]);
+        assert_eq!(a.stage("tx").unwrap().calls, 5);
+        assert_eq!(a.stage("tx").unwrap().ns, 53);
+        assert_eq!(a.event_count("crc_fail"), 5);
+        assert_eq!(a.event_count("acq_miss"), 2);
+        assert_eq!(a.event_count("nonexistent"), 0);
+        assert_eq!(a.hists[0].count, 4);
+        assert_eq!(a.hists[0].sum, 14);
+        assert_eq!(a.hists[0].bins, vec![(0, 1), (2, 3), (4, 1)]);
+    }
+
+    #[test]
+    fn merge_is_associative_on_counts() {
+        let (a, b, c) = (sample(), sample(), sample());
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn json_shapes() {
+        let t = sample();
+        let full = t.to_json();
+        assert!(full.contains("\"ns\":100"), "{full}");
+        assert!(full.contains("\"bins\":[[0,1],[2,2]]"), "{full}");
+        let det = t.to_json_deterministic();
+        assert!(!det.contains("\"ns\""), "{det}");
+        // Both parse with the in-repo checker.
+        crate::json::parse(&full).unwrap();
+        crate::json::parse(&det).unwrap();
+        // Empty snapshot still renders valid JSON.
+        crate::json::parse(&Telemetry::default().to_json()).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_ignores_timing_only() {
+        let a = sample();
+        let mut b = sample();
+        b.stages[0].ns = 999_999;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = sample();
+        c.events[0].count += 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

@@ -208,7 +208,7 @@ impl CorrelatorBank {
         fa[..needed].copy_from_slice(&signal[..needed]);
         fft.forward_in_place(&mut fa);
         for (x, y) in fa.iter_mut().zip(spec) {
-            *x = *x * *y;
+            *x *= *y;
         }
         fft.inverse_in_place(&mut fa);
         let take = n_valid.min(n_phases);

@@ -149,6 +149,7 @@ impl Gen2Receiver {
             return;
         }
         let gain = 0.355 / p.sqrt();
+        uwb_obs::gauge!("agc_gain_milli").set((gain * 1000.0) as u64);
         out.extend(samples.iter().map(|&z| {
             let s = z * gain;
             Complex::new(self.quantizer.quantize(s.re), self.quantizer.quantize(s.im))
@@ -181,40 +182,51 @@ impl Gen2Receiver {
         samples: &[Complex],
         state: &mut RxState,
     ) -> Result<ReceivedPacket, PhyError> {
-        self.digitize_into(samples, &mut state.digitized);
+        {
+            let _t = uwb_obs::span!("rx_agc_adc");
+            self.digitize_into(samples, &mut state.digitized);
+        }
 
         // --- Coarse acquisition over one preamble period of phases ---
         let sps = self.config.samples_per_slot();
         let period = self.config.preamble_length() * sps;
-        let acq = self.acquisition.acquire_with(
-            &state.digitized,
-            period + CIR_PRE_SAMPLES,
-            &mut state.scratch,
-        );
+        let acq = {
+            let _t = uwb_obs::span!("rx_acquisition");
+            self.acquisition.acquire_with(
+                &state.digitized,
+                period + CIR_PRE_SAMPLES,
+                &mut state.scratch,
+            )
+        };
         if !acq.detected {
+            uwb_obs::event!("acq_miss");
             return Err(PhyError::SyncFailed);
         }
 
         // --- Channel estimation over the remaining preamble periods ---
         let est_start = acq.offset.saturating_sub(CIR_PRE_SAMPLES);
         let periods = (self.config.preamble_repeats - 1).max(1);
-        estimate_cir_into(
-            &state.digitized,
-            &self.preamble_template,
-            est_start,
-            CIR_WINDOW,
-            periods,
-            period,
-            &mut state.estimate,
-        );
-        if let Some(bits) = self.config.chanest_bits {
-            state.estimate.quantize_in_place(bits);
+        {
+            let _t = uwb_obs::span!("rx_chanest");
+            estimate_cir_into(
+                &state.digitized,
+                &self.preamble_template,
+                est_start,
+                CIR_WINDOW,
+                periods,
+                period,
+                &mut state.estimate,
+            );
+            if let Some(bits) = self.config.chanest_bits {
+                state.estimate.quantize_in_place(bits);
+            }
         }
 
         // --- Matched filter + RAKE ---
         // The matched filter is evaluated lazily at the finger delays of
         // each decoded slot (combine_direct) instead of FFT-filtering the
         // whole record: only slots × fingers values are ever read.
+        let _t_rake = uwb_obs::span!("rx_rake");
         state
             .rake
             .rebuild_from_estimate(&state.estimate, self.config.rake_fingers, &mut state.finger_idx);
@@ -235,7 +247,11 @@ impl Gen2Receiver {
         let n_header = header_slot_count(&self.config);
         let header_stats: Vec<Complex> =
             (0..n_header).map(|k| stat(header_start + k)).collect();
-        let header = decode_header(&header_stats, &self.config)?;
+        drop(_t_rake);
+        let _t_decode = uwb_obs::span!("rx_decode");
+        let header = decode_header(&header_stats, &self.config).inspect_err(|_| {
+            uwb_obs::event!("header_fail");
+        })?;
 
         // --- Payload ---
         let payload_start = header_start + n_header;
@@ -244,7 +260,12 @@ impl Gen2Receiver {
             (0..n_payload).map(|k| stat(payload_start + k)).collect();
         self.maybe_track_carrier_in_place(&mut payload_stats);
         self.maybe_equalize_in_place(&mut payload_stats, &state.estimate, &state.rake);
-        let payload = decode_payload(&payload_stats, header.payload_len, &self.config)?;
+        let payload =
+            decode_payload(&payload_stats, header.payload_len, &self.config).inspect_err(|e| {
+                if matches!(e, PhyError::CrcMismatch) {
+                    uwb_obs::event!("crc_fail");
+                }
+            })?;
 
         Ok(ReceivedPacket {
             payload,
@@ -384,23 +405,30 @@ impl Gen2Receiver {
         state: &mut RxState,
         out: &mut Vec<Complex>,
     ) {
-        self.digitize_into(samples, &mut state.digitized);
+        {
+            let _t = uwb_obs::span!("rx_agc_adc");
+            self.digitize_into(samples, &mut state.digitized);
+        }
         let sps = self.config.samples_per_slot();
         let period = self.config.preamble_length() * sps;
         let est_start = slot0_start.saturating_sub(CIR_PRE_SAMPLES);
         let periods = (self.config.preamble_repeats - 1).max(1);
-        estimate_cir_into(
-            &state.digitized,
-            &self.preamble_template,
-            est_start,
-            CIR_WINDOW,
-            periods,
-            period,
-            &mut state.estimate,
-        );
-        if let Some(bits) = self.config.chanest_bits {
-            state.estimate.quantize_in_place(bits);
+        {
+            let _t = uwb_obs::span!("rx_chanest");
+            estimate_cir_into(
+                &state.digitized,
+                &self.preamble_template,
+                est_start,
+                CIR_WINDOW,
+                periods,
+                period,
+                &mut state.estimate,
+            );
+            if let Some(bits) = self.config.chanest_bits {
+                state.estimate.quantize_in_place(bits);
+            }
         }
+        let _t_rake = uwb_obs::span!("rx_rake");
         state
             .rake
             .rebuild_from_estimate(&state.estimate, self.config.rake_fingers, &mut state.finger_idx);
@@ -413,6 +441,7 @@ impl Gen2Receiver {
         out.extend((0..n_payload).map(|k| {
             rake.combine_direct(digitized, &self.pulse, est_start + (payload_slot0 + k) * sps)
         }));
+        drop(_t_rake);
         self.maybe_track_carrier_in_place(out);
         self.maybe_equalize_in_place(out, &state.estimate, &state.rake);
     }

@@ -286,32 +286,42 @@ impl LinkWorker {
         rng: &mut Rand,
     ) -> usize {
         let config = &scenario.config;
-        self.payload.clear();
-        self.payload.resize(payload_len, 0);
-        rng.fill_bytes(&mut self.payload);
-        self.tx
-            .transmit_packet_into(&self.payload, &mut self.burst, &mut self.frame_scratch)
-            .expect("payload size");
+        {
+            let _t = uwb_obs::span!("tx");
+            self.payload.clear();
+            self.payload.resize(payload_len, 0);
+            rng.fill_bytes(&mut self.payload);
+            self.tx
+                .transmit_packet_into(&self.payload, &mut self.burst, &mut self.frame_scratch)
+                .expect("payload size");
+        }
 
         // Channel (fresh realization per packet, taps regenerated in place).
         let fs = config.sample_rate;
-        self.channel.regenerate(scenario.channel, rng);
-        self.channel.apply_into(
-            &self.burst.samples,
-            fs,
-            self.rx_state.scratch(),
-            &mut self.samples,
-        );
+        {
+            let _t = uwb_obs::span!("channel");
+            self.channel.regenerate(scenario.channel, rng);
+            self.channel.apply_into(
+                &self.burst.samples,
+                fs,
+                self.rx_state.scratch(),
+                &mut self.samples,
+            );
+        }
 
         // Interference.
         if let Some(intf) = &scenario.interferer {
+            let _t = uwb_obs::span!("interferer");
             intf.add_to_in_place(&mut self.samples, fs.as_hz(), rng);
         }
 
         // Noise calibrated to Eb/N0 on information bits.
-        let eb = energy_per_info_bit(&self.burst.slots, self.payload.len());
-        let n0 = eb / uwb_dsp::math::db_to_pow(scenario.ebn0_db);
-        add_awgn_complex_in_place(&mut self.samples, n0, rng);
+        {
+            let _t = uwb_obs::span!("awgn");
+            let eb = energy_per_info_bit(&self.burst.slots, self.payload.len());
+            let n0 = eb / uwb_dsp::math::db_to_pow(scenario.ebn0_db);
+            add_awgn_complex_in_place(&mut self.samples, n0, rng);
+        }
 
         // Optional spectral monitoring + notch (the paper's interferer
         // defense). The monitor and filter live in the worker; only the
@@ -319,8 +329,10 @@ impl LinkWorker {
         // still allocates its output (outside the zero-allocation
         // steady-state contract).
         if scenario.notch_enabled {
+            let _t = uwb_obs::span!("notch");
             let report = self.monitor.analyze(&self.samples, fs.as_hz());
             if report.detected {
+                uwb_obs::event!("notch_retune", report.frequency.as_hz() as u64);
                 self.notch.tune(report.frequency);
                 let filtered = self.notch.process(&self.samples);
                 self.samples.clear();
@@ -348,6 +360,7 @@ impl LinkWorker {
             &mut self.rx_state,
             &mut self.stats,
         );
+        let _t = uwb_obs::span!("rx_decode");
         if decode_payload_bits_into(
             &self.stats,
             self.payload.len(),
@@ -357,8 +370,10 @@ impl LinkWorker {
         )
         .is_ok()
         {
+            let before = counter.errors;
             reference_payload_bits_into(&self.payload, &mut self.frame_scratch, &mut self.ref_bits);
             counter.add_bits(&self.ref_bits, &self.bits);
+            uwb_obs::hist!("trial_bit_errors", counter.errors - before);
         }
     }
 
@@ -380,17 +395,26 @@ impl LinkWorker {
             &mut self.rx_state,
             &mut self.stats,
         );
-        if decode_payload_bits_into(
-            &self.stats,
-            self.payload.len(),
-            &scenario.config,
-            &mut self.frame_scratch,
-            &mut self.bits,
-        )
-        .is_ok()
         {
-            reference_payload_bits_into(&self.payload, &mut self.frame_scratch, &mut self.ref_bits);
-            outcome.ber.add_bits(&self.ref_bits, &self.bits);
+            let _t = uwb_obs::span!("rx_decode");
+            if decode_payload_bits_into(
+                &self.stats,
+                self.payload.len(),
+                &scenario.config,
+                &mut self.frame_scratch,
+                &mut self.bits,
+            )
+            .is_ok()
+            {
+                let before = outcome.ber.errors;
+                reference_payload_bits_into(
+                    &self.payload,
+                    &mut self.frame_scratch,
+                    &mut self.ref_bits,
+                );
+                outcome.ber.add_bits(&self.ref_bits, &self.bits);
+                uwb_obs::hist!("trial_bit_errors", outcome.ber.errors - before);
+            }
         }
 
         // --- Packet path: full acquisition. ---

@@ -48,10 +48,13 @@ impl ErrorCounter {
         self.errors += e.min(n);
     }
 
-    /// The error rate (0 if nothing observed).
+    /// The error rate. `NaN` when nothing was observed — an empty counter is
+    /// *not* evidence of an error-free link (the old `0.0` return made a
+    /// zero-trial run indistinguishable from a perfect one). `f64::max`
+    /// ignores NaN, so `c.rate().max(floor)` caller patterns keep working.
     pub fn rate(&self) -> f64 {
         if self.total == 0 {
-            0.0
+            f64::NAN
         } else {
             self.errors as f64 / self.total as f64
         }
@@ -166,11 +169,13 @@ mod tests {
     }
 
     #[test]
-    fn empty_counter_ci_is_unit() {
+    fn empty_counter_rate_is_nan_ci_is_unit() {
         let c = ErrorCounter::new();
-        assert_eq!(c.rate(), 0.0);
+        assert!(c.rate().is_nan(), "empty rate must be NaN, not 0");
         assert_eq!(c.wilson_ci(), (0.0, 1.0));
         assert!(!c.is_converged());
+        // The `.rate().max(floor)` caller idiom stays safe: max ignores NaN.
+        assert_eq!(c.rate().max(1e-6), 1e-6);
     }
 
     #[test]

@@ -79,6 +79,37 @@ impl std::fmt::Display for Table {
     }
 }
 
+/// Renders a [`uwb_obs::Telemetry`] snapshot as a per-stage profile table:
+/// one row per pipeline stage (`stage | calls | total ms | ns/call | %`),
+/// stages sorted by descending total time, followed by one row per event
+/// count. Returns an empty table when the snapshot is empty (telemetry off).
+pub fn stage_table(telemetry: &uwb_obs::Telemetry) -> Table {
+    let mut t = Table::new(vec!["stage", "calls", "total ms", "ns/call", "%"]);
+    let total_ns: u64 = telemetry.total_stage_ns().max(1);
+    let mut stages: Vec<_> = telemetry.stages.iter().collect();
+    stages.sort_by(|a, b| b.ns.cmp(&a.ns).then(a.name.cmp(b.name)));
+    for s in stages {
+        let per_call = s.ns.checked_div(s.calls).unwrap_or(0);
+        t.row(vec![
+            s.name.to_string(),
+            s.calls.to_string(),
+            format!("{:.2}", s.ns as f64 / 1e6),
+            per_call.to_string(),
+            format!("{:.1}", 100.0 * s.ns as f64 / total_ns as f64),
+        ]);
+    }
+    for e in &telemetry.events {
+        t.row(vec![
+            format!("event:{}", e.name),
+            e.count.to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    t
+}
+
 /// Formats a BER (or any small probability) compactly: `1.2e-4` or `<1e-7`
 /// when zero errors were seen over `total` observations.
 pub fn format_rate(errors: u64, total: u64) -> String {
@@ -237,6 +268,39 @@ mod tests {
         t.row(vec!["1"]);
         let s = t.render();
         assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn stage_table_sorts_by_time_and_lists_events() {
+        use uwb_obs::{EventStat, StageStat, Telemetry};
+        let telemetry = Telemetry {
+            stages: vec![
+                StageStat {
+                    name: "cheap",
+                    calls: 10,
+                    ns: 1_000,
+                },
+                StageStat {
+                    name: "hot",
+                    calls: 10,
+                    ns: 9_000_000,
+                },
+            ],
+            events: vec![EventStat {
+                name: "acq_miss",
+                count: 3,
+            }],
+            hists: vec![],
+        };
+        let t = stage_table(&telemetry);
+        let s = t.render();
+        let hot_line = s.lines().position(|l| l.contains("hot")).unwrap();
+        let cheap_line = s.lines().position(|l| l.contains("cheap")).unwrap();
+        assert!(hot_line < cheap_line, "{s}");
+        assert!(s.contains("event:acq_miss"), "{s}");
+        assert_eq!(t.len(), 3);
+        // Empty snapshot -> header-only table.
+        assert!(stage_table(&Telemetry::default()).is_empty());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub fn add_awgn_complex(signal: &[Complex], noise_power: f64, rng: &mut Rand) ->
 pub fn add_awgn_complex_in_place(signal: &mut [Complex], noise_power: f64, rng: &mut Rand) {
     let sigma = (noise_power.max(0.0) / 2.0).sqrt();
     for z in signal.iter_mut() {
-        *z = *z + Complex::new(sigma * rng.gaussian(), sigma * rng.gaussian());
+        *z += Complex::new(sigma * rng.gaussian(), sigma * rng.gaussian());
     }
 }
 

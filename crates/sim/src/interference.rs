@@ -105,7 +105,7 @@ impl Interferer {
             InterfererKind::ContinuousWave => {
                 let mut nco = Nco::with_phase(self.offset_hz, fs_hz, phase0);
                 for z in signal.iter_mut() {
-                    *z = *z + nco.next_complex() * amp;
+                    *z += nco.next_complex() * amp;
                 }
             }
             InterfererKind::Modulated { symbol_rate_hz } => {
@@ -116,7 +116,7 @@ impl Interferer {
                     if i % sps == 0 {
                         symbol = if rng.bit() { 1.0 } else { -1.0 };
                     }
-                    *z = *z + nco.next_complex() * (amp * symbol);
+                    *z += nco.next_complex() * (amp * symbol);
                 }
             }
             InterfererKind::Swept { sweep_hz_per_s } => {
@@ -125,7 +125,7 @@ impl Interferer {
                 for (i, z) in signal.iter_mut().enumerate() {
                     let f = self.offset_hz + sweep_hz_per_s * (i as f64 * dt);
                     phase += std::f64::consts::TAU * f * dt;
-                    *z = *z + Complex::from_polar(amp, phase);
+                    *z += Complex::from_polar(amp, phase);
                 }
             }
         }

@@ -23,12 +23,25 @@
 //! Thread count comes from the `UWB_THREADS` environment variable (0 or
 //! unset → `std::thread::available_parallelism`), overridable per run with
 //! [`MonteCarlo::threads`].
+//!
+//! ## Telemetry
+//!
+//! When the `obs` feature is on, the engine drains each worker's
+//! [`uwb_obs`] thread-local collector *per chunk* and merges the snapshots
+//! in the same deterministic chunk order as the results — so the
+//! [`RunStats::telemetry`] stage call counts, event counts, and histogram
+//! bins cover exactly the contributing trials and are bit-identical for any
+//! `UWB_THREADS`. Overrun chunks are discarded together with their
+//! telemetry. Stage *nanosecond* totals are wall-clock measurements and are
+//! excluded from the determinism contract
+//! ([`uwb_obs::Telemetry::to_json_deterministic`] omits them).
 
 use crate::rng::Rand;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use uwb_obs::Telemetry;
 
 /// Result types that can be combined across trials / chunks / workers.
 ///
@@ -80,12 +93,25 @@ pub struct RunStats {
     pub threads: usize,
     /// Why the run stopped.
     pub stop_reason: StopReason,
+    /// Per-run telemetry snapshot: stage timings/call counts, event counts,
+    /// and histograms accumulated over exactly the contributing trials,
+    /// merged in deterministic chunk order. Empty when the `obs` feature is
+    /// off.
+    pub telemetry: Telemetry,
 }
 
 impl RunStats {
-    /// Contributing trials per wall-clock second.
-    pub fn trials_per_sec(&self) -> f64 {
-        self.trials as f64 / self.wall.as_secs_f64().max(1e-12)
+    /// Contributing trials per wall-clock second, or `None` when the run was
+    /// too short to time meaningfully (wall clock under 1 µs — the old
+    /// `max(1e-12)` divide guard silently reported absurd throughputs for
+    /// empty runs).
+    pub fn trials_per_sec(&self) -> Option<f64> {
+        let secs = self.wall.as_secs_f64();
+        if secs < 1e-6 {
+            None
+        } else {
+            Some(self.trials as f64 / secs)
+        }
     }
 
     /// `true` when the result was cut short by the trial budget.
@@ -95,28 +121,43 @@ impl RunStats {
 
     /// One-line human summary (`trials … in … ms, … trials/s, reason`).
     pub fn summary(&self) -> String {
+        let tps = match self.trials_per_sec() {
+            Some(v) => format!("{v:.0} trials/s"),
+            None => "n/a trials/s".to_string(),
+        };
         format!(
-            "{} trials in {:.1} ms on {} thread{} ({:.0} trials/s, {})",
+            "{} trials in {:.1} ms on {} thread{} ({}, {})",
             self.trials,
             self.wall.as_secs_f64() * 1e3,
             self.threads,
             if self.threads == 1 { "" } else { "s" },
-            self.trials_per_sec(),
+            tps,
             self.stop_reason,
         )
     }
 
-    /// Compact JSON record for BENCH tracking (hand-rolled — no serde).
+    /// `uwb-telemetry-v1` JSON record (hand-rolled — no serde).
+    ///
+    /// Run-level wall-clock fields (`wall_ms`, `trials_per_sec`) vary
+    /// between runs; the embedded `"telemetry"` object is the
+    /// *deterministic* view (stage call counts, event counts, histogram
+    /// bins — no nanoseconds) and is bit-identical for any `UWB_THREADS`.
+    /// `trials_per_sec` is `null` when the run was too short to time.
     pub fn to_json(&self) -> String {
+        let tps = match self.trials_per_sec() {
+            Some(v) => format!("{v:.1}"),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"trials\":{},\"trials_executed\":{},\"wall_ms\":{:.3},\"threads\":{},\"trials_per_sec\":{:.1},\"stop_reason\":\"{}\",\"truncated\":{}}}",
+            "{{\"schema\":\"uwb-telemetry-v1\",\"trials\":{},\"trials_executed\":{},\"wall_ms\":{:.3},\"threads\":{},\"trials_per_sec\":{},\"stop_reason\":\"{}\",\"truncated\":{},\"telemetry\":{}}}",
             self.trials,
             self.trials_executed,
             self.wall.as_secs_f64() * 1e3,
             self.threads,
-            self.trials_per_sec(),
+            tps,
             self.stop_reason,
             self.truncated(),
+            self.telemetry.to_json_deterministic(),
         )
     }
 }
@@ -208,6 +249,11 @@ impl MonteCarlo {
         FP: Fn(&R) -> bool + Sync,
     {
         let t0 = Instant::now();
+        // Discard telemetry residue on the calling thread so the per-run
+        // snapshot covers exactly the contributing trials regardless of
+        // whether this thread doubles as the worker (single-threaded mode)
+        // or only coordinates (multi-threaded mode).
+        let _ = uwb_obs::take_thread_telemetry();
         let threads = resolve_threads(self.threads);
         let chunk = self.chunk_size.max(1);
         let n_chunks = self.max_trials.div_ceil(chunk);
@@ -219,12 +265,18 @@ impl MonteCarlo {
         let reducer = Mutex::new(Reducer::<R> {
             pending: BTreeMap::new(),
             merged: R::default(),
+            telemetry: Telemetry::default(),
             frontier: 0,
             stopped_at: None,
         });
 
         let worker = || {
             let mut state = make_state();
+            // Discard any telemetry residue this thread accumulated outside
+            // the engine (only possible in single-threaded mode, where the
+            // caller's thread is the worker): the per-run snapshot must
+            // cover exactly the contributing trials for any thread count.
+            let _ = uwb_obs::take_thread_telemetry();
             loop {
                 let c = next_chunk.fetch_add(1, Ordering::Relaxed);
                 if c >= n_chunks || c > stop_chunk.load(Ordering::Relaxed) {
@@ -234,23 +286,28 @@ impl MonteCarlo {
                 let hi = ((c + 1) * chunk).min(self.max_trials);
                 let mut local = R::default();
                 for t in lo..hi {
+                    uwb_obs::set_trial(t);
                     let mut rng = Rand::for_trial(self.master_seed, t);
                     trial(&mut state, t, &mut rng, &mut local);
                 }
+                // Drain this chunk's telemetry; it merges (or is discarded)
+                // together with the chunk's result.
+                let telem = uwb_obs::take_thread_telemetry();
                 executed.fetch_add(hi - lo, Ordering::Relaxed);
                 let mut red = reducer.lock().expect("reducer poisoned");
                 if red.stopped_at.is_some() {
                     // Result already decided; drop the overrun chunk.
                     continue;
                 }
-                red.pending.insert(c, local);
+                red.pending.insert(c, (local, telem));
                 // Advance the deterministic merge frontier.
                 loop {
                     let frontier = red.frontier;
-                    let Some(r) = red.pending.remove(&frontier) else {
+                    let Some((r, t)) = red.pending.remove(&frontier) else {
                         break;
                     };
                     red.merged.merge(&r);
+                    red.telemetry.merge(&t);
                     let at = red.frontier;
                     red.frontier += 1;
                     if stop(&red.merged) {
@@ -281,6 +338,16 @@ impl MonteCarlo {
             ),
             None => (StopReason::TrialBudgetExhausted, self.max_trials),
         };
+        let mut telemetry = red.telemetry;
+        if stop_reason.truncated() {
+            // Truncation is itself a reportable rare event: record it (ring
+            // buffer + count) and fold the record into the run snapshot.
+            // Emitted on the coordinating thread after the workers joined,
+            // so it is deterministic for any thread count.
+            uwb_obs::set_trial(trials.saturating_sub(1));
+            uwb_obs::event!("run_truncated", trials);
+            telemetry.merge(&uwb_obs::take_thread_telemetry());
+        }
         RunOutcome {
             value: red.merged,
             stats: RunStats {
@@ -289,14 +356,16 @@ impl MonteCarlo {
                 wall: t0.elapsed(),
                 threads,
                 stop_reason,
+                telemetry,
             },
         }
     }
 }
 
 struct Reducer<R> {
-    pending: BTreeMap<u64, R>,
+    pending: BTreeMap<u64, (R, Telemetry)>,
     merged: R,
+    telemetry: Telemetry,
     frontier: u64,
     stopped_at: Option<u64>,
 }
@@ -436,10 +505,85 @@ mod tests {
     fn stats_formatting() {
         let (_, s) = toy_run(1, 100, 5);
         let json = s.to_json();
+        assert!(json.contains("\"schema\":\"uwb-telemetry-v1\""), "{json}");
         assert!(json.contains("\"trials\":"), "{json}");
         assert!(json.contains("\"stop_reason\":\"target-reached\""), "{json}");
+        assert!(json.contains("\"telemetry\":{"), "{json}");
         assert!(s.summary().contains("trials/s"));
-        assert!(s.trials_per_sec() > 0.0);
+        if let Some(tps) = s.trials_per_sec() {
+            assert!(tps > 0.0);
+        }
+    }
+
+    #[test]
+    fn trials_per_sec_is_none_for_untimed_runs() {
+        let s = RunStats {
+            trials: 100,
+            trials_executed: 100,
+            wall: Duration::from_nanos(10),
+            threads: 1,
+            stop_reason: StopReason::TrialBudgetExhausted,
+            telemetry: Telemetry::default(),
+        };
+        assert_eq!(s.trials_per_sec(), None);
+        assert!(s.summary().contains("n/a trials/s"), "{}", s.summary());
+        assert!(
+            s.to_json().contains("\"trials_per_sec\":null"),
+            "{}",
+            s.to_json()
+        );
+    }
+
+    #[test]
+    fn truncated_run_records_event() {
+        let (_, s) = toy_run(2, 300, u64::MAX);
+        assert!(s.truncated());
+        if uwb_obs::enabled() {
+            assert_eq!(s.telemetry.event_count("run_truncated"), 1);
+        } else {
+            assert!(s.telemetry.is_empty());
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_are_thread_count_invariant() {
+        let run = |threads: usize| {
+            MonteCarlo::new(17, 4_000).threads(threads).run(
+                || (),
+                |_, _trial, rng, acc: &mut Tally| {
+                    let _t = uwb_obs::span!("mc_test_stage");
+                    acc.trials += 1;
+                    let v = rng.next_u64() % 100;
+                    uwb_obs::hist!("mc_test_hist", v);
+                    if v == 0 {
+                        uwb_obs::event!("mc_test_rare");
+                    }
+                    if rng.chance(0.125) {
+                        acc.hits += 1;
+                    }
+                },
+                |acc| acc.hits >= 40,
+            )
+        };
+        let a = run(1);
+        for threads in [2, 4] {
+            let b = run(threads);
+            assert_eq!(a.value, b.value, "{threads} threads");
+            assert_eq!(
+                a.stats.telemetry.to_json_deterministic(),
+                b.stats.telemetry.to_json_deterministic(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                a.stats.telemetry.fingerprint(),
+                b.stats.telemetry.fingerprint(),
+                "{threads} threads"
+            );
+        }
+        if uwb_obs::enabled() {
+            let st = a.stats.telemetry.stage("mc_test_stage").expect("stage");
+            assert_eq!(st.calls, a.stats.trials);
+        }
     }
 
     #[test]

@@ -9,7 +9,13 @@
 #                             kernel regresses by more than BENCH_TOL
 #                             percent (default 15; throughput is reported
 #                             but informational — see EXPERIMENTS.md)
-#   scripts/check.sh all      tier-1, then the whole workspace's tests, then smoke
+#   scripts/check.sh obs      observability gate: builds the workspace with
+#                             AND without the obs feature, clippy with
+#                             -D warnings, and the allocation-regression
+#                             tests with telemetry enabled (the span/counter
+#                             warm path must stay at zero heap allocations)
+#   scripts/check.sh all      tier-1, then the whole workspace's tests, then
+#                             smoke, then obs
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -35,6 +41,21 @@ bench() {
     UWB_THREADS=1 ./target/release/dspbench --check BENCH_dsp.json --tol "$tol"
 }
 
+obs() {
+    echo "== obs: workspace builds with telemetry compiled out =="
+    cargo build -q --workspace --no-default-features
+    echo "== obs: workspace builds with telemetry on =="
+    cargo build -q --workspace
+    echo "== obs: clippy -D warnings (both configurations) =="
+    cargo clippy -q --workspace -- -D warnings
+    cargo clippy -q --workspace --no-default-features -- -D warnings
+    echo "== obs: zero-allocation warm path with telemetry enabled =="
+    cargo test -q --test alloc_regression
+    echo "== obs: telemetry determinism + schema =="
+    cargo test -q --test montecarlo_determinism
+    cargo test -q --test telemetry_schema
+}
+
 case "$mode" in
 tier1)
     tier1
@@ -45,14 +66,18 @@ smoke)
 bench)
     bench
     ;;
+obs)
+    obs
+    ;;
 all)
     tier1
     echo "== workspace: cargo test -q --workspace =="
     cargo test -q --workspace
     smoke
+    obs
     ;;
 *)
-    echo "usage: scripts/check.sh [tier1|smoke|bench|all]" >&2
+    echo "usage: scripts/check.sh [tier1|smoke|bench|obs|all]" >&2
     exit 2
     ;;
 esac

@@ -150,3 +150,77 @@ fn thread_resolution_precedence() {
     assert_eq!(resolve_threads(Some(5)), 5);
     assert!(resolve_threads(None) >= 1);
 }
+
+#[test]
+fn telemetry_is_thread_invariant_on_the_real_link() {
+    // The determinism contract extends to the telemetry snapshot: stage
+    // call counts, event counts, and histogram bins come from per-chunk
+    // thread-local deltas merged in chunk order, so the deterministic view
+    // must be bit-identical for any worker count. (Stage nanoseconds are
+    // wall-clock and deliberately excluded from both the fingerprint and
+    // `to_json_deterministic`.)
+    let sc = scenario();
+    let budget = TrialBudget { max_trials: 300 };
+
+    std::env::set_var("UWB_THREADS", "1");
+    let serial = run_ber_fast_budgeted(&sc, 24, 12, 80_000, budget);
+    std::env::set_var("UWB_THREADS", "4");
+    let threaded = run_ber_fast_budgeted(&sc, 24, 12, 80_000, budget);
+    std::env::remove_var("UWB_THREADS");
+
+    assert_eq!(*serial, *threaded, "BER counters diverged");
+    assert_eq!(
+        serial.stats.telemetry.to_json_deterministic(),
+        threaded.stats.telemetry.to_json_deterministic(),
+        "deterministic telemetry view depends on thread count"
+    );
+    assert_eq!(
+        serial.stats.telemetry.fingerprint(),
+        threaded.stats.telemetry.fingerprint(),
+        "telemetry fingerprint depends on thread count"
+    );
+
+    // When the obs feature is on, the fast path must have produced per-stage
+    // stats covering every merged trial.
+    if uwb_obs::enabled() {
+        let telem = &serial.stats.telemetry;
+        assert!(!telem.is_empty(), "instrumented run yielded no telemetry");
+        for stage in ["tx", "awgn", "rx_chanest", "rx_rake"] {
+            let st = telem
+                .stage(stage)
+                .unwrap_or_else(|| panic!("stage {stage:?} missing from telemetry"));
+            assert_eq!(
+                st.calls, serial.stats.trials,
+                "stage {stage:?} call count != merged trials"
+            );
+        }
+    } else {
+        assert!(serial.stats.telemetry.is_empty(), "no-op build produced telemetry");
+    }
+}
+
+#[test]
+fn truncated_run_telemetry_is_thread_invariant() {
+    // Truncation emits a deterministic `run_truncated` event on the
+    // coordinating thread; overrun chunks beyond the stop boundary are
+    // discarded together with their telemetry.
+    let sc = scenario();
+    let budget = TrialBudget { max_trials: 9 };
+    std::env::set_var("UWB_THREADS", "1");
+    let a = run_ber_fast_budgeted(&sc, 24, u64::MAX, u64::MAX, budget);
+    std::env::set_var("UWB_THREADS", "3");
+    let b = run_ber_fast_budgeted(&sc, 24, u64::MAX, u64::MAX, budget);
+    std::env::remove_var("UWB_THREADS");
+
+    assert_eq!(a.stop, LinkStopReason::Truncated);
+    assert_eq!(b.stop, LinkStopReason::Truncated);
+    assert_eq!(
+        a.stats.telemetry.fingerprint(),
+        b.stats.telemetry.fingerprint(),
+        "truncated-run telemetry depends on thread count"
+    );
+    if uwb_obs::enabled() {
+        assert_eq!(a.stats.telemetry.event_count("run_truncated"), 1);
+        assert_eq!(b.stats.telemetry.event_count("run_truncated"), 1);
+    }
+}

@@ -36,6 +36,7 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
+use uwb_bench::tracked::{check_against, time_us, MetricPolicy};
 use uwb_bench::EXPERIMENT_SEED;
 use uwb_dsp::correlation::{circular_autocorrelation, cross_correlate_fft_into};
 use uwb_dsp::fft::{cached_plan, fft_convolve_real_into, fft_plans_built, Fft};
@@ -49,24 +50,6 @@ use uwb_sim::Rand;
 struct Kernel {
     name: &'static str,
     us_per_call: f64,
-}
-
-/// Times `f` for `iters` calls, repeated `reps` times; returns the *best*
-/// per-call time in microseconds (minimum is the standard noise-robust
-/// statistic for micro-benchmarks: all noise is additive).
-fn time_us<F: FnMut()>(iters: usize, reps: usize, mut f: F) -> f64 {
-    // Warm-up: populate caches (FFT plans, scratch pools, allocator).
-    f();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        let dt = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
-        best = best.min(dt);
-    }
-    best
 }
 
 fn noise_complex(n: usize, seed: u64) -> Vec<Complex> {
@@ -242,98 +225,16 @@ fn render_json(
     s
 }
 
-/// Pulls every `"name": number` pair out of the flat schema — no general
-/// JSON parser needed (or wanted: the repo vendors no serde).
-fn parse_pairs(json: &str) -> Vec<(String, f64)> {
-    let mut pairs = Vec::new();
-    let bytes = json.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'"' {
-            let start = i + 1;
-            let Some(endq) = json[start..].find('"') else {
-                break;
-            };
-            let key = &json[start..start + endq];
-            i = start + endq + 1;
-            // Skip whitespace, expect ':'.
-            while i < bytes.len() && (bytes[i] as char).is_whitespace() {
-                i += 1;
-            }
-            if i < bytes.len() && bytes[i] == b':' {
-                i += 1;
-                while i < bytes.len() && (bytes[i] as char).is_whitespace() {
-                    i += 1;
-                }
-                let num_start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || matches!(bytes[i], b'.' | b'-' | b'e' | b'E' | b'+'))
-                {
-                    i += 1;
-                }
-                if let Ok(v) = json[num_start..i].parse::<f64>() {
-                    pairs.push((key.to_string(), v));
-                }
-            }
-        } else {
-            i += 1;
-        }
-    }
-    pairs
-}
-
-fn check_against(baseline_path: &str, current: &str, tol_pct: f64) -> ExitCode {
-    let baseline = match std::fs::read_to_string(baseline_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("dspbench: cannot read baseline {baseline_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let base = parse_pairs(&baseline);
-    let curr = parse_pairs(current);
-    let mut failed = false;
-    println!("{:<34} {:>12} {:>12} {:>9}", "metric", "baseline", "current", "delta");
-    for (key, base_v) in &base {
-        // "stage:" keys are the informational per-stage profile — never a
-        // gate (wall-clock, machine- and feature-dependent).
-        if key == "schema" || key == "fft_plans_built" || key.starts_with("stage:") {
-            continue;
-        }
-        let Some((_, curr_v)) = curr.iter().find(|(k, _)| k == key) else {
-            eprintln!("dspbench: metric {key} missing from current run");
-            failed = true;
-            continue;
-        };
-        // Throughput metrics: bigger is better, but end-to-end trials/s is
-        // too load-sensitive to gate CI on — report it as informational
-        // only. Kernel times (smaller is better) are what the gate enforces.
-        let higher_is_better = matches!(key.as_str(), "full_path" | "fast_path");
-        let delta_pct = if higher_is_better {
-            (base_v - curr_v) / base_v * 100.0
-        } else {
-            (curr_v - base_v) / base_v * 100.0
-        };
-        let verdict = if delta_pct > tol_pct {
-            if higher_is_better {
-                "slower (info)"
-            } else {
-                failed = true;
-                "REGRESSED"
-            }
-        } else {
-            ""
-        };
-        println!(
-            "{key:<34} {base_v:>12.3} {curr_v:>12.3} {delta_pct:>+8.1}% {verdict}"
-        );
-    }
-    if failed {
-        eprintln!("dspbench: kernel regression beyond {tol_pct}% tolerance");
-        ExitCode::FAILURE
+/// Metric policy for the `uwb-dspbench-v1` schema: kernel times are the
+/// gate; end-to-end trials/s is too load-sensitive to gate CI on and the
+/// `stage:` profile is wall-clock, machine- and feature-dependent.
+fn metric_policy(key: &str) -> MetricPolicy {
+    if key == "schema" || key == "fft_plans_built" || key.starts_with("stage:") {
+        MetricPolicy::Skip
+    } else if matches!(key, "full_path" | "fast_path") {
+        MetricPolicy::InfoHigherBetter
     } else {
-        println!("dspbench: all kernels within {tol_pct}% of baseline");
-        ExitCode::SUCCESS
+        MetricPolicy::Gate
     }
 }
 
@@ -407,7 +308,7 @@ fn main() -> ExitCode {
         println!("wrote {path}");
     }
     if let Some(path) = check_path {
-        return check_against(&path, &json, tol_pct);
+        return check_against("dspbench", &path, &json, tol_pct, &metric_policy);
     }
     ExitCode::SUCCESS
 }

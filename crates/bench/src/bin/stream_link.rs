@@ -1,0 +1,244 @@
+//! stream_link — tracked benchmark for the streamed link-trial path (the
+//! perf anchor for `scripts/check.sh stream`).
+//!
+//! Compares single-threaded BER-trial throughput of the batch synthesis
+//! path (`LinkWorker::trial_ber`) against the streamed one
+//! (`LinkWorker::trial_ber_streamed`) on the smoke scenario, verifies their
+//! counters agree bit-for-bit first, and emits a machine-readable report:
+//!
+//! ```text
+//! cargo run -p uwb-bench --release --bin stream_link -- --out BENCH_stream.json
+//! cargo run -p uwb-bench --release --bin stream_link -- --check BENCH_stream.json
+//! ```
+//!
+//! Two gates:
+//!
+//! * **Overhead** (every run): the streamed path must stay within
+//!   `--max-overhead` percent (default 5) of batch throughput — the
+//!   streaming refactor's acceptance criterion. This is an absolute gate,
+//!   independent of any baseline file.
+//! * **Parity** (every run): `--parity-trials` (default 50) trials on
+//!   identical per-trial seeds must produce bit-identical error counters.
+//!
+//! `--check BASELINE` additionally prints the delta table against the
+//! committed numbers; the throughput rows are informational (wall-clock,
+//! machine-dependent) — regression protection comes from the absolute
+//! overhead gate, which re-runs on every invocation.
+//!
+//! JSON schema (`uwb-streamlink-v1`, flat `"name": number` pairs):
+//!
+//! ```json
+//! {
+//!   "schema": "uwb-streamlink-v1",
+//!   "throughput_tps": { "batch": <trials/s>, "streamed": <trials/s> },
+//!   "overhead_pct": <100 * (batch - streamed) / batch>,
+//!   "block_len": <samples>
+//! }
+//! ```
+
+use std::process::ExitCode;
+use uwb_bench::tracked::{check_against, MetricPolicy};
+use uwb_bench::EXPERIMENT_SEED;
+use uwb_phy::Gen2Config;
+use uwb_platform::link::{LinkScenario, LinkWorker, DEFAULT_STREAM_BLOCK};
+use uwb_platform::ErrorCounter;
+use uwb_sim::Rand;
+
+/// The smoke scenario shared with `dspbench`: AWGN, short preamble,
+/// Eb/N0 = 6 dB, 24-byte payload.
+fn scenario() -> LinkScenario {
+    let config = Gen2Config {
+        preamble_repeats: 2,
+        ..Gen2Config::nominal_100mbps()
+    };
+    LinkScenario::awgn(config, 6.0, EXPERIMENT_SEED)
+}
+
+/// Runs `trials` trials through both paths on identical per-trial seeds and
+/// returns the two counters — the batch/streamed parity check (bit-exact on
+/// the AWGN smoke scenario; see `uwb_sim::stream` for the contract).
+fn parity_counters(sc: &LinkScenario, block_len: usize, trials: u64) -> (ErrorCounter, ErrorCounter) {
+    let mut worker = LinkWorker::new(sc);
+    let mut batch = ErrorCounter::default();
+    let mut streamed = ErrorCounter::default();
+    for t in 0..trials {
+        let mut rng = Rand::for_trial(sc.seed, t);
+        worker.trial_ber(sc, 24, &mut rng, &mut batch);
+        let mut rng = Rand::for_trial(sc.seed, t);
+        worker.trial_ber_streamed(sc, 24, block_len, &mut rng, &mut streamed);
+    }
+    (batch, streamed)
+}
+
+/// Measures single-threaded trials/s for both paths. The batch and
+/// streamed passes are *interleaved* rep by rep — slow machine-level noise
+/// (CPU frequency drift, neighbouring load) then hits both paths in the
+/// same epochs instead of biasing whichever path runs first — and each
+/// path takes the minimum over `reps` passes (the standard noise-robust
+/// statistic for the tracked benchmarks).
+fn measure_tps(sc: &LinkScenario, block_len: usize, trials: u64, reps: usize) -> (f64, f64) {
+    let mut worker = LinkWorker::new(sc);
+    let mut counter = ErrorCounter::default();
+
+    // Warm both paths (FFT plans, scratch pools, streaming-channel storage).
+    for t in 0..3 {
+        let mut rng = Rand::for_trial(sc.seed, t);
+        worker.trial_ber(sc, 24, &mut rng, &mut counter);
+        let mut rng = Rand::for_trial(sc.seed, t);
+        worker.trial_ber_streamed(sc, 24, block_len, &mut rng, &mut counter);
+    }
+
+    let mut best_batch = f64::INFINITY;
+    let mut best_streamed = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        // Alternate per *trial* (~0.5 ms grain): any noise epoch longer
+        // than one trial taxes both paths almost identically.
+        let mut batch_s = 0.0f64;
+        let mut streamed_s = 0.0f64;
+        for t in 0..trials {
+            let mut rng = Rand::for_trial(sc.seed, t);
+            let t0 = std::time::Instant::now();
+            worker.trial_ber(sc, 24, &mut rng, &mut counter);
+            batch_s += t0.elapsed().as_secs_f64();
+
+            let mut rng = Rand::for_trial(sc.seed, t);
+            let t0 = std::time::Instant::now();
+            worker.trial_ber_streamed(sc, 24, block_len, &mut rng, &mut counter);
+            streamed_s += t0.elapsed().as_secs_f64();
+        }
+        best_batch = best_batch.min(batch_s / trials.max(1) as f64);
+        best_streamed = best_streamed.min(streamed_s / trials.max(1) as f64);
+    }
+    (1.0 / best_batch, 1.0 / best_streamed)
+}
+
+fn render_json(batch_tps: f64, streamed_tps: f64, overhead_pct: f64, block_len: usize) -> String {
+    format!(
+        "{{\n  \"schema\": \"uwb-streamlink-v1\",\n  \"throughput_tps\": {{\n    \
+         \"batch\": {batch_tps:.1},\n    \"streamed\": {streamed_tps:.1}\n  }},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \"block_len\": {block_len}\n}}\n"
+    )
+}
+
+/// Metric policy for `uwb-streamlink-v1`: all throughput numbers are
+/// wall-clock and machine-dependent, so the baseline comparison is
+/// informational; the hard gate is the absolute `--max-overhead` check
+/// that re-runs on this machine every invocation.
+fn metric_policy(key: &str) -> MetricPolicy {
+    match key {
+        "schema" | "block_len" => MetricPolicy::Skip,
+        "batch" | "streamed" => MetricPolicy::InfoHigherBetter,
+        "overhead_pct" => MetricPolicy::InfoLowerBetter,
+        _ => MetricPolicy::Gate,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tol_pct = 15.0;
+    let mut trials = 200u64;
+    let mut reps = 5usize;
+    let mut block_len = DEFAULT_STREAM_BLOCK;
+    let mut max_overhead = 5.0f64;
+    let mut parity_trials = 50u64;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |cur: usize| args.get(cur + 1).cloned();
+        match args[i].as_str() {
+            "--out" => {
+                out_path = take(i);
+                i += 2;
+            }
+            "--check" => {
+                check_path = take(i);
+                i += 2;
+            }
+            "--tol" => {
+                tol_pct = take(i).and_then(|s| s.parse().ok()).unwrap_or(tol_pct);
+                i += 2;
+            }
+            "--trials" => {
+                trials = take(i).and_then(|s| s.parse().ok()).unwrap_or(trials);
+                i += 2;
+            }
+            "--reps" => {
+                reps = take(i).and_then(|s| s.parse().ok()).unwrap_or(reps);
+                i += 2;
+            }
+            "--block" => {
+                block_len = take(i).and_then(|s| s.parse().ok()).unwrap_or(block_len);
+                i += 2;
+            }
+            "--max-overhead" => {
+                max_overhead = take(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(max_overhead);
+                i += 2;
+            }
+            "--parity-trials" => {
+                parity_trials = take(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(parity_trials);
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "stream_link: unknown argument {other}\n\
+                     usage: stream_link [--out PATH] [--check BASELINE [--tol PCT]]\n\
+                            [--trials N] [--reps N] [--block SAMPLES]\n\
+                            [--max-overhead PCT] [--parity-trials N]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let sc = scenario();
+
+    // Gate 1: bit-exact parity on identical seeds.
+    let (batch_c, streamed_c) = parity_counters(&sc, block_len, parity_trials);
+    if batch_c != streamed_c {
+        eprintln!(
+            "stream_link: PARITY FAILURE over {parity_trials} trials: \
+             batch {batch_c} vs streamed {streamed_c}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "parity: OK — counters bit-identical over {parity_trials} trials ({batch_c})"
+    );
+
+    // Gate 2: streamed throughput within max_overhead percent of batch.
+    let (batch_tps, streamed_tps) = measure_tps(&sc, block_len, trials, reps);
+    let overhead_pct = (batch_tps - streamed_tps) / batch_tps * 100.0;
+    println!("{:<22} {:>10.1} trials/s (1 thread)", "batch", batch_tps);
+    println!("{:<22} {:>10.1} trials/s (1 thread)", "streamed", streamed_tps);
+    println!(
+        "{:<22} {:>+10.2} % (block {block_len}, gate {max_overhead}%)",
+        "streaming overhead", overhead_pct
+    );
+    let json = render_json(batch_tps, streamed_tps, overhead_pct, block_len);
+
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("stream_link: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if overhead_pct > max_overhead {
+        eprintln!(
+            "stream_link: streamed path {overhead_pct:.2}% slower than batch \
+             (gate: {max_overhead}%)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = check_path {
+        return check_against("stream_link", &path, &json, tol_pct, &metric_policy);
+    }
+    ExitCode::SUCCESS
+}

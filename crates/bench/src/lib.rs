@@ -29,6 +29,8 @@
 
 #![warn(missing_docs)]
 
+pub mod tracked;
+
 /// Common seed used by experiment binaries so published numbers reproduce.
 pub const EXPERIMENT_SEED: u64 = 20050307; // DATE 2005, Munich, 7 March
 

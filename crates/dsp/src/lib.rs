@@ -52,6 +52,7 @@ pub mod math;
 pub mod nco;
 pub mod psd;
 pub mod resample;
+pub mod stream;
 pub mod window;
 
 pub use complex::Complex;
@@ -61,5 +62,6 @@ pub use goertzel::Goertzel;
 pub use fir::{FirFilter, StreamingFir};
 pub use iir::{Biquad, BiquadCascade};
 pub use nco::Nco;
+pub use stream::{BlockProcessor, Chain};
 pub use psd::Psd;
 pub use window::Window;

@@ -63,6 +63,7 @@ pub mod ranging;
 pub mod receiver;
 pub mod scrambler;
 pub mod spectral;
+pub mod stream_rx;
 pub mod tracking;
 pub mod tx;
 
@@ -84,5 +85,6 @@ pub use rake::RakeReceiver;
 pub use ranging::{solve_two_way, RangingResult, ToaEstimate, ToaEstimator};
 pub use receiver::{Gen2Receiver, ReceivedPacket, RxState};
 pub use spectral::{GoertzelMonitor, InterfererReport, SpectralMonitor};
+pub use stream_rx::{StreamPhase, StreamRx};
 pub use tracking::{Dll, Pll};
 pub use tx::{Burst, Gen2Transmitter};

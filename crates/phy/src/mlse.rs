@@ -54,6 +54,57 @@ impl MlseEqualizer {
         if received.is_empty() {
             return Vec::new();
         }
+        let (decisions, mut state) = self.run_trellis(received);
+        let mut out = Vec::with_capacity(received.len());
+        for step in (0..received.len()).rev() {
+            let d = decisions[step][state];
+            out.push(d & 1 != 0);
+            state = (d >> 1) as usize;
+        }
+        out.reverse();
+        out
+    }
+
+    /// [`MlseEqualizer::equalize`] writing hard-remodulated BPSK symbols
+    /// (`+1` or `−1` on the real axis) into a caller-owned buffer (cleared
+    /// first) — the form the Gen2 receiver uses, with the decided-symbol
+    /// buffer drawn from its `DspScratch` pool instead of a fresh `Vec<bool>`
+    /// per packet.
+    ///
+    /// # Allocation
+    ///
+    /// The Viterbi trellis itself still heap-allocates. Precisely, per call
+    /// with `N = received.len()` symbols and `S = 2^(L−1)` states:
+    ///
+    /// * `expected` — one `2·S`-entry table of noiseless branch outputs,
+    /// * `metric` — one `S`-entry path-metric vector, plus one fresh
+    ///   `S`-entry `next` vector **per input symbol** (the old vector is
+    ///   dropped each step),
+    /// * `decisions` — one `S`-entry `u16` survivor vector **per input
+    ///   symbol**, all `N` retained until traceback (`N·S` u16 total — the
+    ///   dominant term).
+    ///
+    /// This is the documented exception to the receiver's zero-allocation
+    /// steady state; the nominal configuration (`mlse_taps == 0`) never
+    /// enters this path.
+    pub fn equalize_symbols_into(&self, received: &[Complex], out: &mut Vec<Complex>) {
+        out.clear();
+        if received.is_empty() {
+            return;
+        }
+        let (decisions, mut state) = self.run_trellis(received);
+        out.resize(received.len(), Complex::ZERO);
+        for step in (0..received.len()).rev() {
+            let d = decisions[step][state];
+            out[step] = Complex::new(if d & 1 != 0 { 1.0 } else { -1.0 }, 0.0);
+            state = (d >> 1) as usize;
+        }
+    }
+
+    /// Runs the add-compare-select recursion, returning the survivor table
+    /// (one `states()`-entry decision vector per input symbol) and the best
+    /// final state to start traceback from.
+    fn run_trellis(&self, received: &[Complex]) -> (Vec<Vec<u16>>, usize) {
         let l = self.channel.len();
         let n_states = self.states();
         // State encodes the previous L-1 symbols: bit j = symbol (k-1-j),
@@ -100,18 +151,11 @@ impl MlseEqualizer {
             decisions.push(dec);
         }
 
-        // Traceback from the best final state.
-        let mut state = (0..n_states)
+        // Traceback starts from the best final state.
+        let best = (0..n_states)
             .min_by(|&a, &b| metric[a].partial_cmp(&metric[b]).unwrap())
             .unwrap_or(0);
-        let mut out = Vec::with_capacity(received.len());
-        for step in (0..received.len()).rev() {
-            let d = decisions[step][state];
-            out.push(d & 1 != 0);
-            state = (d >> 1) as usize;
-        }
-        out.reverse();
-        out
+        (decisions, best)
     }
 
     /// Reference: symbol-by-symbol threshold detection against the main tap
@@ -234,6 +278,28 @@ mod tests {
     fn empty_input() {
         let eq = MlseEqualizer::new(vec![Complex::ONE]);
         assert!(eq.equalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn symbols_into_matches_equalize() {
+        let h = isi_channel();
+        let eq = MlseEqualizer::new(h.clone());
+        let symbols = random_symbols(500, 9);
+        let rx = apply_symbol_channel(&symbols, &h);
+        let mut rng = Rand::new(10);
+        let noisy = add_awgn_complex(&rx, 0.3, &mut rng);
+        let bools = eq.equalize(&noisy);
+        // Pre-dirtied buffer: must be cleared and rewritten.
+        let mut syms = vec![Complex::new(9.0, 9.0); 3];
+        eq.equalize_symbols_into(&noisy, &mut syms);
+        assert_eq!(syms.len(), bools.len());
+        for (z, b) in syms.iter().zip(&bools) {
+            assert_eq!(z.re, if *b { 1.0 } else { -1.0 });
+            assert_eq!(z.im, 0.0);
+        }
+        // Empty input clears the buffer.
+        eq.equalize_symbols_into(&[], &mut syms);
+        assert!(syms.is_empty());
     }
 
     #[test]

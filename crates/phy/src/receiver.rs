@@ -20,9 +20,12 @@ use uwb_dsp::{Complex, DspScratch};
 
 /// How many samples before the acquisition lock the channel-estimation
 /// window starts (captures paths earlier than the strongest one).
-const CIR_PRE_SAMPLES: usize = 8;
+pub(crate) const CIR_PRE_SAMPLES: usize = 8;
 /// Channel-estimation window length in samples.
-const CIR_WINDOW: usize = 64;
+pub(crate) const CIR_WINDOW: usize = 64;
+/// Start-of-frame-delimiter length in slots (gap between the last preamble
+/// repeat and the first header slot).
+pub(crate) const SFD_SLOTS: usize = 13;
 
 /// A successfully received packet with per-stage diagnostics.
 #[derive(Debug, Clone)]
@@ -47,15 +50,15 @@ pub struct ReceivedPacket {
 #[derive(Debug)]
 pub struct RxState {
     /// Scratch arena for FFT/correlation work buffers.
-    scratch: DspScratch,
+    pub(crate) scratch: DspScratch,
     /// AGC + quantizer output record.
-    digitized: Vec<Complex>,
+    pub(crate) digitized: Vec<Complex>,
     /// Channel estimate (raw, then quantized in place).
-    estimate: ChannelEstimate,
+    pub(crate) estimate: ChannelEstimate,
     /// RAKE rebuilt in place each packet.
-    rake: RakeReceiver,
+    pub(crate) rake: RakeReceiver,
     /// Finger-selection index scratch.
-    finger_idx: Vec<usize>,
+    pub(crate) finger_idx: Vec<usize>,
 }
 
 impl RxState {
@@ -128,6 +131,28 @@ impl Gen2Receiver {
     /// The receiver configuration.
     pub fn config(&self) -> &Gen2Config {
         &self.config
+    }
+
+    /// Length of one preamble-period template in samples (what acquisition
+    /// correlates against).
+    pub(crate) fn template_len(&self) -> usize {
+        self.preamble_template.len()
+    }
+
+    /// Length of the matched-filter pulse template in samples.
+    pub(crate) fn pulse_len(&self) -> usize {
+        self.pulse.len()
+    }
+
+    /// Runs coarse acquisition over `search_len` candidate phases of
+    /// `samples`, drawing work buffers from `scratch`.
+    pub(crate) fn acquire_into(
+        &self,
+        samples: &[Complex],
+        search_len: usize,
+        scratch: &mut DspScratch,
+    ) -> AcquisitionResult {
+        self.acquisition.acquire_with(samples, search_len, scratch)
     }
 
     /// Front-end conditioning: AGC to −9 dBFS, then I/Q quantization at the
@@ -203,8 +228,22 @@ impl Gen2Receiver {
             return Err(PhyError::SyncFailed);
         }
 
-        // --- Channel estimation over the remaining preamble periods ---
-        let est_start = acq.offset.saturating_sub(CIR_PRE_SAMPLES);
+        let (header, payload) = self.decode_frame_at(state, acq.offset)?;
+        Ok(ReceivedPacket {
+            payload,
+            header,
+            acquisition: acq,
+            estimate: state.estimate.clone(),
+        })
+    }
+
+    /// Channel estimation + RAKE rebuild around the acquisition lock at
+    /// `offset` into `state.digitized` (shared by the batch and streaming
+    /// decode paths). Returns `est_start`, the base sample index the RAKE
+    /// finger delays are relative to.
+    fn prepare_rake_at(&self, state: &mut RxState, offset: usize) -> usize {
+        let period = self.config.preamble_length() * self.config.samples_per_slot();
+        let est_start = offset.saturating_sub(CIR_PRE_SAMPLES);
         let periods = (self.config.preamble_repeats - 1).max(1);
         {
             let _t = uwb_obs::span!("rx_chanest");
@@ -221,6 +260,53 @@ impl Gen2Receiver {
                 state.estimate.quantize_in_place(bits);
             }
         }
+        est_start
+    }
+
+    /// Decodes the header of a frame whose acquisition lock sits at `offset`
+    /// within the already-digitized record in `state`. Used by the streaming
+    /// receiver to learn the payload length (and hence the frame span it must
+    /// buffer) before the payload has streamed in.
+    pub(crate) fn decode_header_at(
+        &self,
+        state: &mut RxState,
+        offset: usize,
+    ) -> Result<Header, PhyError> {
+        let est_start = self.prepare_rake_at(state, offset);
+        let sps = self.config.samples_per_slot();
+        let _t_rake = uwb_obs::span!("rx_rake");
+        state
+            .rake
+            .rebuild_from_estimate(&state.estimate, self.config.rake_fingers, &mut state.finger_idx);
+        let digitized = &state.digitized;
+        let rake = &state.rake;
+        let preamble_slots = self.config.preamble_length() * self.config.preamble_repeats;
+        let header_start = preamble_slots + SFD_SLOTS;
+        let n_header = header_slot_count(&self.config);
+        let header_stats: Vec<Complex> = (0..n_header)
+            .map(|k| {
+                rake.combine_direct(digitized, &self.pulse, est_start + (header_start + k) * sps)
+            })
+            .collect();
+        drop(_t_rake);
+        let _t_decode = uwb_obs::span!("rx_decode");
+        decode_header(&header_stats, &self.config).inspect_err(|_| {
+            uwb_obs::event!("header_fail");
+        })
+    }
+
+    /// Decodes one full frame whose acquisition lock sits at `offset` within
+    /// the already-digitized record in `state`: channel estimation → RAKE
+    /// rebuild → header → payload. Shared by
+    /// [`Gen2Receiver::receive_packet_with`], the batch scan loop, and the
+    /// incremental [`crate::stream_rx::StreamRx`].
+    pub(crate) fn decode_frame_at(
+        &self,
+        state: &mut RxState,
+        offset: usize,
+    ) -> Result<(Header, Vec<u8>), PhyError> {
+        let sps = self.config.samples_per_slot();
+        let est_start = self.prepare_rake_at(state, offset);
 
         // --- Matched filter + RAKE ---
         // The matched filter is evaluated lazily at the finger delays of
@@ -233,8 +319,8 @@ impl Gen2Receiver {
         let digitized = &state.digitized;
         let rake = &state.rake;
 
-        // Slot s of the frame has its pulse starting at acq.offset + s*sps;
-        // fingers are relative to est_start = acq.offset - CIR_PRE_SAMPLES.
+        // Slot s of the frame has its pulse starting at offset + s*sps;
+        // fingers are relative to est_start = offset - CIR_PRE_SAMPLES.
         let prompt_base = est_start;
         let stat = |slot: usize| -> Complex {
             rake.combine_direct(digitized, &self.pulse, prompt_base + slot * sps)
@@ -242,8 +328,7 @@ impl Gen2Receiver {
 
         // --- Header ---
         let preamble_slots = self.config.preamble_length() * self.config.preamble_repeats;
-        let sfd_slots = 13;
-        let header_start = preamble_slots + sfd_slots;
+        let header_start = preamble_slots + SFD_SLOTS;
         let n_header = header_slot_count(&self.config);
         let header_stats: Vec<Complex> =
             (0..n_header).map(|k| stat(header_start + k)).collect();
@@ -259,56 +344,95 @@ impl Gen2Receiver {
         let mut payload_stats: Vec<Complex> =
             (0..n_payload).map(|k| stat(payload_start + k)).collect();
         self.maybe_track_carrier_in_place(&mut payload_stats);
-        self.maybe_equalize_in_place(&mut payload_stats, &state.estimate, &state.rake);
+        self.maybe_equalize_in_place(
+            &mut payload_stats,
+            &state.estimate,
+            &state.rake,
+            &mut state.scratch,
+        );
         let payload =
             decode_payload(&payload_stats, header.payload_len, &self.config).inspect_err(|e| {
                 if matches!(e, PhyError::CrcMismatch) {
                     uwb_obs::event!("crc_fail");
                 }
             })?;
-
-        Ok(ReceivedPacket {
-            payload,
-            header,
-            acquisition: acq,
-            estimate: state.estimate.clone(),
-        })
+        Ok((header, payload))
     }
 
     /// Scans a long record for multiple packets: acquire → decode → skip
     /// past the decoded frame → repeat. Records that fail to decode after a
-    /// successful acquisition are skipped by one preamble period so a
-    /// corrupted packet cannot stall the scan.
+    /// successful acquisition are skipped past the *acquired* preamble so a
+    /// corrupted packet cannot stall the scan (or be rescanned forever when
+    /// its preamble sits late in the attempt window).
     ///
     /// Returns every successfully decoded packet together with its start
     /// offset (in samples) within `samples`.
+    ///
+    /// Every attempt re-digitizes and re-scans the whole remaining record —
+    /// O(record²) on long captures, and the entire record must be resident.
+    /// Prefer [`crate::stream_rx::StreamRx`], which runs the same state
+    /// machine incrementally over blocks in bounded memory.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `StreamRx` for incremental, bounded-memory packet scanning"
+    )]
     pub fn receive_stream(&self, samples: &[Complex]) -> Vec<(usize, ReceivedPacket)> {
         let sps = self.config.samples_per_slot();
         let period = self.config.preamble_length() * sps;
+        let mut state = RxState::new();
         let mut packets = Vec::new();
         let mut cursor = 0usize;
         // Need at least a preamble + header's worth of samples to try.
         let min_len = period * self.config.preamble_repeats + 64 * sps;
         while cursor + min_len <= samples.len() {
             let window = &samples[cursor..];
-            match self.receive_packet(window) {
-                Ok(packet) => {
-                    let frame_slots = self.config.preamble_length()
-                        * self.config.preamble_repeats
-                        + 13
-                        + header_slot_count(&self.config)
-                        + payload_slot_count(packet.header.payload_len, &self.config);
-                    let advance = packet.acquisition.offset + frame_slots * sps;
-                    packets.push((cursor + packet.acquisition.offset, packet));
-                    cursor += advance.max(period);
-                }
+            {
+                let _t = uwb_obs::span!("rx_agc_adc");
+                self.digitize_into(window, &mut state.digitized);
+            }
+            let acq = {
+                let _t = uwb_obs::span!("rx_acquisition");
+                self.acquisition.acquire_with(
+                    &state.digitized,
+                    period + CIR_PRE_SAMPLES,
+                    &mut state.scratch,
+                )
+            };
+            if !acq.detected {
                 // Nothing acquired in this window's first period of phases:
                 // slide one period and keep scanning (records may contain
                 // long silence between packets).
-                Err(PhyError::SyncFailed) => cursor += period,
+                uwb_obs::event!("acq_miss");
+                cursor += period;
+                continue;
+            }
+            match self.decode_frame_at(&mut state, acq.offset) {
+                Ok((header, payload)) => {
+                    let frame_slots = self.config.preamble_length()
+                        * self.config.preamble_repeats
+                        + SFD_SLOTS
+                        + header_slot_count(&self.config)
+                        + payload_slot_count(header.payload_len, &self.config);
+                    let advance = acq.offset + frame_slots * sps;
+                    packets.push((
+                        cursor + acq.offset,
+                        ReceivedPacket {
+                            payload,
+                            header,
+                            acquisition: acq,
+                            estimate: state.estimate.clone(),
+                        },
+                    ));
+                    cursor += advance.max(period);
+                }
                 Err(_) => {
-                    // Acquired but failed to decode: move past this preamble.
-                    cursor += period;
+                    // Acquired but failed to decode: advance past the
+                    // preamble that was actually acquired (`offset` into this
+                    // window plus one period), not blindly one period from
+                    // the window start — the old behavior could land the
+                    // next attempt inside the same corrupted frame and burn
+                    // an acquisition pass per period for the rest of it.
+                    cursor += acq.offset + period;
                 }
             }
         }
@@ -335,7 +459,11 @@ impl Gen2Receiver {
     /// to multipath can be addressed with a Viterbi demodulator"). Rewrites
     /// `stats` with hard-remodulated symbols; otherwise leaves it untouched.
     ///
-    /// The Viterbi trellis itself still allocates — the MLSE path is the one
+    /// The decided-symbol buffer is drawn from (and returned to) `scratch`,
+    /// so the only steady-state allocations left on this path are the Viterbi
+    /// trellis internals — see
+    /// [`MlseEqualizer::equalize_symbols_into`][crate::mlse::MlseEqualizer::equalize_symbols_into]
+    /// for the precise per-call breakdown. The MLSE path remains the one
     /// documented exception to the zero-allocation steady state (the nominal
     /// configuration does not enable it).
     fn maybe_equalize_in_place(
@@ -343,6 +471,7 @@ impl Gen2Receiver {
         stats: &mut Vec<Complex>,
         estimate: &ChannelEstimate,
         rake: &RakeReceiver,
+        scratch: &mut DspScratch,
     ) {
         let applicable = self.config.mlse_taps > 1
             && self.config.mlse_taps <= 9
@@ -361,13 +490,11 @@ impl Gen2Receiver {
             return;
         }
         let eq = MlseEqualizer::new(g);
-        let decided = eq.equalize(stats);
+        let mut decided = scratch.take_complex(stats.len());
+        eq.equalize_symbols_into(stats, &mut decided);
         stats.clear();
-        stats.extend(
-            decided
-                .into_iter()
-                .map(|b| Complex::new(if b { 1.0 } else { -1.0 }, 0.0)),
-        );
+        stats.extend_from_slice(&decided);
+        scratch.put_complex(decided);
     }
 
     /// BER-measurement fast path: demodulates payload slot statistics with
@@ -410,30 +537,13 @@ impl Gen2Receiver {
             self.digitize_into(samples, &mut state.digitized);
         }
         let sps = self.config.samples_per_slot();
-        let period = self.config.preamble_length() * sps;
-        let est_start = slot0_start.saturating_sub(CIR_PRE_SAMPLES);
-        let periods = (self.config.preamble_repeats - 1).max(1);
-        {
-            let _t = uwb_obs::span!("rx_chanest");
-            estimate_cir_into(
-                &state.digitized,
-                &self.preamble_template,
-                est_start,
-                CIR_WINDOW,
-                periods,
-                period,
-                &mut state.estimate,
-            );
-            if let Some(bits) = self.config.chanest_bits {
-                state.estimate.quantize_in_place(bits);
-            }
-        }
+        let est_start = self.prepare_rake_at(state, slot0_start);
         let _t_rake = uwb_obs::span!("rx_rake");
         state
             .rake
             .rebuild_from_estimate(&state.estimate, self.config.rake_fingers, &mut state.finger_idx);
         let preamble_slots = self.config.preamble_length() * self.config.preamble_repeats;
-        let payload_slot0 = preamble_slots + 13 + header_slot_count(&self.config);
+        let payload_slot0 = preamble_slots + SFD_SLOTS + header_slot_count(&self.config);
         let n_payload = payload_slot_count(payload_len, &self.config);
         let digitized = &state.digitized;
         let rake = &state.rake;
@@ -443,7 +553,7 @@ impl Gen2Receiver {
         }));
         drop(_t_rake);
         self.maybe_track_carrier_in_place(out);
-        self.maybe_equalize_in_place(out, &state.estimate, &state.rake);
+        self.maybe_equalize_in_place(out, &state.estimate, &state.rake, &mut state.scratch);
     }
 }
 
@@ -559,6 +669,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn stream_reception_finds_multiple_packets() {
         let cfg = Gen2Config {
             preamble_repeats: 2,
@@ -592,6 +703,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn stream_reception_empty_record() {
         let cfg = Gen2Config {
             preamble_repeats: 2,

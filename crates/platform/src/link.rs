@@ -25,6 +25,7 @@
 //! * results are bit-identical for any worker thread count (`UWB_THREADS`).
 
 use crate::metrics::ErrorCounter;
+use uwb_dsp::stream::BlockProcessor;
 use uwb_dsp::Complex;
 use uwb_phy::packet::{decode_payload_bits_into, reference_payload_bits_into};
 use uwb_phy::{
@@ -34,8 +35,14 @@ use uwb_phy::{
 use uwb_rf::TunableNotch;
 use uwb_sim::awgn::add_awgn_complex_in_place;
 use uwb_sim::montecarlo::{Merge, MonteCarlo, RunStats, StopReason};
+use uwb_sim::stream::{StreamingAwgn, StreamingChannel, StreamingInterferer};
 use uwb_sim::sv_channel::{ChannelModel, ChannelRealization, Tap};
 use uwb_sim::{Interferer, Rand};
+
+/// Default block length (in samples) for the streamed synthesis path —
+/// small enough that the working set stays cache-resident, large enough
+/// that per-block dispatch is negligible against the per-sample work.
+pub const DEFAULT_STREAM_BLOCK: usize = 4096;
 
 /// A complete link scenario.
 #[derive(Debug, Clone)]
@@ -228,6 +235,7 @@ pub struct LinkWorker {
     rx: Gen2Receiver,
     monitor: SpectralMonitor,
     notch: TunableNotch,
+    stream_channel: StreamingChannel,
     // --- persistent per-trial buffers ---
     channel: ChannelRealization,
     rx_state: RxState,
@@ -253,6 +261,7 @@ impl LinkWorker {
             rx: Gen2Receiver::new(config.clone()).expect("rx config"),
             monitor: SpectralMonitor::new(),
             notch: TunableNotch::new(config.sample_rate, 30.0),
+            stream_channel: StreamingChannel::new(),
             channel: ChannelRealization::from_taps(vec![Tap {
                 delay_ns: 0.0,
                 gain: Complex::ONE,
@@ -324,35 +333,147 @@ impl LinkWorker {
         }
 
         // Optional spectral monitoring + notch (the paper's interferer
-        // defense). The monitor and filter live in the worker; only the
-        // centre frequency is re-tuned per record. The notch filter itself
-        // still allocates its output (outside the zero-allocation
-        // steady-state contract).
+        // defense).
         if scenario.notch_enabled {
-            let _t = uwb_obs::span!("notch");
-            let report = self.monitor.analyze(&self.samples, fs.as_hz());
-            if report.detected {
-                uwb_obs::event!("notch_retune", report.frequency.as_hz() as u64);
-                self.notch.tune(report.frequency);
-                let filtered = self.notch.process(&self.samples);
-                self.samples.clear();
-                self.samples.extend_from_slice(&filtered);
-            }
+            self.apply_notch(fs);
         }
 
         self.burst.slot0_center - self.tx.pulse().len() / 2
     }
 
-    /// BER-only trial: known-timing statistics path. Zero steady-state heap
-    /// allocation on the nominal configuration.
-    pub fn trial_ber(
+    /// Spectral monitoring + tunable notch over the assembled record. The
+    /// monitor and filter live in the worker; only the centre frequency is
+    /// re-tuned per record. The notch filter itself still allocates its
+    /// output (outside the zero-allocation steady-state contract), and the
+    /// monitor needs the whole record — both synthesis paths therefore run
+    /// it as a batch pass after assembly.
+    fn apply_notch(&mut self, fs: uwb_sim::time::SampleRate) {
+        let _t = uwb_obs::span!("notch");
+        let report = self.monitor.analyze(&self.samples, fs.as_hz());
+        if report.detected {
+            uwb_obs::event!("notch_retune", report.frequency.as_hz() as u64);
+            self.notch.tune(report.frequency);
+            let filtered = self.notch.process(&self.samples);
+            self.samples.clear();
+            self.samples.extend_from_slice(&filtered);
+        }
+    }
+
+    /// Block-based form of [`synthesize`](Self::synthesize): the impaired
+    /// record is built `block_len` samples at a time through the streaming
+    /// channel/interferer/noise operators, so no stage ever materializes a
+    /// whole-record intermediate of its own (the assembled record itself
+    /// still accumulates in `self.samples` because the known-timing BER
+    /// tail consumes a full record; the per-stage working set is O(block +
+    /// channel tail)).
+    ///
+    /// RNG draw order matches the batch path exactly: payload bytes →
+    /// channel realization → interferer starting phase → AWGN samples
+    /// (I then Q, ascending index). For AWGN-only, CW- and swept-interferer
+    /// scenarios the streamed record is therefore **bit-identical** to the
+    /// batch record for any `block_len`; multipath records agree to
+    /// numerical precision (direct-form vs FFT convolution) and modulated
+    /// interferers fork their symbol stream (see `uwb_sim::stream`).
+    fn synthesize_streamed(
         &mut self,
         scenario: &LinkScenario,
         payload_len: usize,
+        block_len: usize,
         rng: &mut Rand,
+    ) -> usize {
+        let config = &scenario.config;
+        {
+            let _t = uwb_obs::span!("tx");
+            self.payload.clear();
+            self.payload.resize(payload_len, 0);
+            rng.fill_bytes(&mut self.payload);
+            self.tx
+                .transmit_packet_into(&self.payload, &mut self.burst, &mut self.frame_scratch)
+                .expect("payload size");
+        }
+
+        let fs = config.sample_rate;
+        {
+            let _t = uwb_obs::span!("channel");
+            self.channel.regenerate(scenario.channel, rng);
+            self.stream_channel.configure(&self.channel, fs);
+        }
+
+        // The streaming interferer draws its starting phase here — the same
+        // single draw, at the same RNG position, as the batch
+        // `add_to_in_place` call.
+        let mut interferer = scenario
+            .interferer
+            .as_ref()
+            .map(|i| StreamingInterferer::new(i, fs.as_hz(), rng));
+
+        // Noise calibrated to Eb/N0 on information bits; the source owns a
+        // clone of the RNG at exactly the state the batch path would start
+        // drawing noise from.
+        let n0 = {
+            let eb = energy_per_info_bit(&self.burst.slots, self.payload.len());
+            eb / uwb_dsp::math::db_to_pow(scenario.ebn0_db)
+        };
+        let mut awgn = StreamingAwgn::new(n0, rng.clone());
+
+        let block_len = block_len.max(1);
+        let n = self.burst.samples.len();
+        self.samples.clear();
+        self.samples.reserve(n + self.stream_channel.tail_len());
+        let scratch = self.rx_state.scratch();
+        let mut start = 0;
+        while start < n {
+            let end = (start + block_len).min(n);
+            self.samples
+                .extend_from_slice(&self.burst.samples[start..end]);
+            let block = &mut self.samples[start..end];
+            {
+                let _t = uwb_obs::span!("channel");
+                self.stream_channel.process_block(block, scratch);
+            }
+            if let Some(src) = interferer.as_mut() {
+                let _t = uwb_obs::span!("interferer");
+                src.process_block(block, scratch);
+            }
+            {
+                let _t = uwb_obs::span!("awgn");
+                awgn.process_block(block, scratch);
+            }
+            start = end;
+        }
+
+        // Multipath tail: the channel flushes its carried L-1 samples, which
+        // then pass through the downstream stages — the batch path's
+        // interferer/noise also cover the convolution tail.
+        {
+            let _t = uwb_obs::span!("channel");
+            self.stream_channel.flush_into(&mut self.samples, scratch);
+        }
+        if self.samples.len() > n {
+            let tail = &mut self.samples[n..];
+            if let Some(src) = interferer.as_mut() {
+                let _t = uwb_obs::span!("interferer");
+                src.process_block(tail, scratch);
+            }
+            let _t = uwb_obs::span!("awgn");
+            awgn.process_block(tail, scratch);
+        }
+
+        if scenario.notch_enabled {
+            self.apply_notch(fs);
+        }
+
+        self.burst.slot0_center - self.tx.pulse().len() / 2
+    }
+
+    /// Shared back half of the BER-only trials: known-timing statistics
+    /// over `self.samples`, decode, and error accumulation.
+    fn count_payload_errors(
+        &mut self,
+        scenario: &LinkScenario,
+        slot0_start: usize,
         counter: &mut ErrorCounter,
     ) {
-        let slot0_start = self.synthesize(scenario, payload_len, rng);
         self.rx.payload_statistics_known_timing_with(
             &self.samples,
             slot0_start,
@@ -375,6 +496,37 @@ impl LinkWorker {
             counter.add_bits(&self.ref_bits, &self.bits);
             uwb_obs::hist!("trial_bit_errors", counter.errors - before);
         }
+    }
+
+    /// BER-only trial: known-timing statistics path. Zero steady-state heap
+    /// allocation on the nominal configuration.
+    pub fn trial_ber(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        rng: &mut Rand,
+        counter: &mut ErrorCounter,
+    ) {
+        let slot0_start = self.synthesize(scenario, payload_len, rng);
+        self.count_payload_errors(scenario, slot0_start, counter);
+    }
+
+    /// BER-only trial on the streamed synthesis path: the impaired record
+    /// is produced `block_len` samples at a time through the streaming
+    /// channel/interferer/noise operators (see
+    /// [`synthesize_streamed`](Self::synthesize_streamed) for the parity
+    /// contract). Zero steady-state heap allocation on the nominal
+    /// configuration, like [`trial_ber`](Self::trial_ber).
+    pub fn trial_ber_streamed(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        block_len: usize,
+        rng: &mut Rand,
+        counter: &mut ErrorCounter,
+    ) {
+        let slot0_start = self.synthesize_streamed(scenario, payload_len, block_len, rng);
+        self.count_payload_errors(scenario, slot0_start, counter);
     }
 
     /// Full trial: BER path plus full-acquisition packet path.
@@ -525,6 +677,51 @@ pub fn run_ber_fast_budgeted(
     let out = MonteCarlo::new(scenario.seed, budget.max_trials).run(
         || LinkWorker::new(scenario),
         |w, _trial, rng, acc: &mut ErrorCounter| w.trial_ber(scenario, payload_len, rng, acc),
+        |acc| acc.errors >= target_errors || acc.total >= max_bits,
+    );
+    let stop = classify_stop(out.stats.stop_reason, &out.value, target_errors);
+    BerRun {
+        counter: out.value,
+        stop,
+        stats: out.stats,
+    }
+}
+
+/// [`run_ber_fast`] on the streamed synthesis path: every trial builds its
+/// impaired record [`DEFAULT_STREAM_BLOCK`] samples at a time instead of
+/// whole-record stage-by-stage. For AWGN-only, CW- and swept-interferer
+/// scenarios the returned counter is **bit-identical** to [`run_ber_fast`]
+/// (and, like it, bit-identical for any `UWB_THREADS`).
+pub fn run_ber_fast_streamed(
+    scenario: &LinkScenario,
+    payload_len: usize,
+    target_errors: u64,
+    max_bits: u64,
+) -> BerRun {
+    run_ber_fast_streamed_budgeted(
+        scenario,
+        payload_len,
+        DEFAULT_STREAM_BLOCK,
+        target_errors,
+        max_bits,
+        TrialBudget::default(),
+    )
+}
+
+/// [`run_ber_fast_streamed`] with an explicit block length and trial budget.
+pub fn run_ber_fast_streamed_budgeted(
+    scenario: &LinkScenario,
+    payload_len: usize,
+    block_len: usize,
+    target_errors: u64,
+    max_bits: u64,
+    budget: TrialBudget,
+) -> BerRun {
+    let out = MonteCarlo::new(scenario.seed, budget.max_trials).run(
+        || LinkWorker::new(scenario),
+        |w, _trial, rng, acc: &mut ErrorCounter| {
+            w.trial_ber_streamed(scenario, payload_len, block_len, rng, acc)
+        },
         |acc| acc.errors >= target_errors || acc.total >= max_bits,
     );
     let stop = classify_stop(out.stats.stop_reason, &out.value, target_errors);
@@ -713,6 +910,99 @@ mod tests {
             b_defended < b_hostile / 3.0,
             "notch did not help: {b_defended} vs {b_hostile}"
         );
+    }
+
+    #[test]
+    fn streamed_trial_matches_batch_awgn_bitwise() {
+        // AWGN-only: the streamed record is bit-identical to the batch
+        // record for every block partition, so the counters must agree
+        // exactly — and be independent of the block length.
+        let sc = LinkScenario::awgn(small_config(), 4.0, 31);
+        let batch = run_ber_fast(&sc, 32, 60, 120_000);
+        for block_len in [64usize, 1024, DEFAULT_STREAM_BLOCK, usize::MAX / 2] {
+            let streamed = run_ber_fast_streamed_budgeted(
+                &sc,
+                32,
+                block_len,
+                60,
+                120_000,
+                TrialBudget::default(),
+            );
+            assert_eq!(streamed.counter, batch.counter, "block {block_len}");
+            assert_eq!(streamed.stop, batch.stop, "block {block_len}");
+        }
+    }
+
+    #[test]
+    fn streamed_trial_matches_batch_with_cw_interferer() {
+        // The CW interferer draws one phase at the same RNG position in
+        // both paths; the streamed counter must match bit-for-bit.
+        let base = LinkScenario::awgn(small_config(), 8.0, 33);
+        let sc = LinkScenario {
+            interferer: Some(Interferer::cw(150e6, 2.0)),
+            ..base
+        };
+        let batch = run_ber_fast(&sc, 24, 50, 80_000);
+        let streamed = run_ber_fast_streamed(&sc, 24, 50, 80_000);
+        assert_eq!(streamed.counter, batch.counter);
+    }
+
+    #[test]
+    fn streamed_trial_matches_batch_with_notch() {
+        // Notch path: both paths assemble the record first, then run the
+        // same monitor + filter over it.
+        let mut cfg = small_config();
+        cfg.adc_bits = 5;
+        let sc = LinkScenario {
+            interferer: Some(Interferer::cw(150e6, 10.0)),
+            notch_enabled: true,
+            ..LinkScenario::awgn(cfg, 10.0, 35)
+        };
+        let batch = run_ber_fast(&sc, 24, 40, 60_000);
+        let streamed = run_ber_fast_streamed(&sc, 24, 40, 60_000);
+        assert_eq!(streamed.counter, batch.counter);
+    }
+
+    #[test]
+    fn streamed_multipath_matches_batch_decisions() {
+        // Multipath records agree only to numerical precision (direct-form
+        // vs FFT convolution), so the contract is decision-level: both
+        // paths observe the same number of bits and (allowing the odd
+        // borderline decision to flip either way) the same errors.
+        let sc = LinkScenario {
+            channel: ChannelModel::Cm1,
+            ..LinkScenario::awgn(small_config(), 15.0, 37)
+        };
+        let batch = run_ber_fast(&sc, 32, 10, 3_000);
+        let streamed = run_ber_fast_streamed(&sc, 32, 10, 3_000);
+        assert_eq!(streamed.total, batch.total);
+        assert!(
+            streamed.errors.abs_diff(batch.errors) <= 2,
+            "streamed {streamed} vs batch {batch}"
+        );
+    }
+
+    #[test]
+    fn streamed_single_trial_is_block_invariant_multipath() {
+        // Even where the batch path differs numerically, the streamed path
+        // must be invariant to its own block partition, per trial.
+        let sc = LinkScenario {
+            channel: ChannelModel::Cm3,
+            ..LinkScenario::awgn(small_config(), 6.0, 39)
+        };
+        let run = |block_len: usize| {
+            let mut w = LinkWorker::new(&sc);
+            let mut c = ErrorCounter::default();
+            for t in 0..3 {
+                let mut rng = Rand::for_trial(sc.seed, t);
+                w.trial_ber_streamed(&sc, 48, block_len, &mut rng, &mut c);
+            }
+            c
+        };
+        let reference = run(usize::MAX / 2);
+        for block_len in [17usize, 64, 1000, DEFAULT_STREAM_BLOCK] {
+            assert_eq!(run(block_len), reference, "block {block_len}");
+        }
     }
 
     #[test]

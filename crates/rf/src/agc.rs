@@ -55,25 +55,62 @@ impl Agc {
         self.target_rms
     }
 
+    /// Lower gain limit.
+    pub fn min_gain(&self) -> f64 {
+        self.min_gain
+    }
+
+    /// Upper gain limit.
+    pub fn max_gain(&self) -> f64 {
+        self.max_gain
+    }
+
     /// Measures the block and applies the computed gain. A silent block
     /// keeps the previous gain.
+    ///
+    /// Thin allocating wrapper over [`Agc::process_in_place`] (kept for
+    /// callers that want a fresh buffer; bit-identical — see the parity
+    /// test).
     pub fn process(&mut self, signal: &[Complex]) -> Vec<Complex> {
+        let mut out = signal.to_vec();
+        self.process_in_place(&mut out);
+        out
+    }
+
+    /// [`Agc::process`] mutating the signal in place (allocation-free) —
+    /// the form the streaming chain and the per-trial workers use.
+    pub fn process_in_place(&mut self, signal: &mut [Complex]) {
         let p = mean_power(signal);
         if p > 0.0 {
             self.gain = (self.target_rms / p.sqrt()).clamp(self.min_gain, self.max_gain);
         }
-        signal.iter().map(|&z| z * self.gain).collect()
+        for z in signal.iter_mut() {
+            *z = *z * self.gain;
+        }
     }
 
     /// Variant that sets gain from peak amplitude rather than RMS — this is
     /// what a clipping-avoidance AGC does, and what lets a strong interferer
     /// crush the wanted signal.
+    ///
+    /// Thin allocating wrapper over
+    /// [`Agc::process_peak_referenced_in_place`].
     pub fn process_peak_referenced(&mut self, signal: &[Complex], full_scale: f64) -> Vec<Complex> {
+        let mut out = signal.to_vec();
+        self.process_peak_referenced_in_place(&mut out, full_scale);
+        out
+    }
+
+    /// [`Agc::process_peak_referenced`] mutating the signal in place
+    /// (allocation-free).
+    pub fn process_peak_referenced_in_place(&mut self, signal: &mut [Complex], full_scale: f64) {
         let peak = signal.iter().fold(0.0f64, |m, z| m.max(z.norm()));
         if peak > 0.0 {
             self.gain = (full_scale / peak).clamp(self.min_gain, self.max_gain);
         }
-        signal.iter().map(|&z| z * self.gain).collect()
+        for z in signal.iter_mut() {
+            *z = *z * self.gain;
+        }
     }
 }
 
@@ -125,6 +162,28 @@ mod tests {
         let out = agc.process_peak_referenced(&sig, 1.0);
         // Pulse is now at 0.1 * (1/10) = 0.01 of full scale.
         assert!((out[0].norm() - 0.01).abs() < 1e-9, "{}", out[0].norm());
+    }
+
+    #[test]
+    fn in_place_matches_allocating_bitwise() {
+        let mut rng = Rand::new(7);
+        let sig = uwb_sim::awgn::complex_noise(512, 3.7, &mut rng);
+
+        let mut a = Agc::for_unit_adc();
+        let mut b = a.clone();
+        let want = a.process(&sig);
+        let mut buf = sig.clone();
+        b.process_in_place(&mut buf);
+        assert_eq!(buf, want);
+        assert_eq!(a.gain(), b.gain());
+
+        let mut a = Agc::new(0.355, 1e-6, 1e6);
+        let mut b = a.clone();
+        let want = a.process_peak_referenced(&sig, 1.0);
+        let mut buf = sig.clone();
+        b.process_peak_referenced_in_place(&mut buf, 1.0);
+        assert_eq!(buf, want);
+        assert_eq!(a.gain(), b.gain());
     }
 
     #[test]

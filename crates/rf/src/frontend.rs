@@ -96,8 +96,9 @@ impl RxChain {
     /// baseband out (same rate).
     pub fn receive(&mut self, passband: &[f64], fs: SampleRate, rng: &mut Rand) -> Vec<Complex> {
         let amplified = self.lna.amplify_real(passband, self.input_noise_power, rng);
-        let baseband = self.downconverter.downconvert(&amplified, fs, rng);
-        self.agc.process(&baseband)
+        let mut baseband = self.downconverter.downconvert(&amplified, fs, rng);
+        self.agc.process_in_place(&mut baseband);
+        baseband
     }
 }
 

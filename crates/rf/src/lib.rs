@@ -42,6 +42,7 @@ pub mod lna;
 pub mod lo;
 pub mod noise;
 pub mod notch;
+pub mod stream;
 
 pub use agc::Agc;
 pub use downconvert::{DirectConversionRx, IqImpairments, Upconverter};
@@ -49,3 +50,4 @@ pub use frontend::{RxChain, TxChain};
 pub use lna::Lna;
 pub use lo::LocalOscillator;
 pub use notch::TunableNotch;
+pub use stream::{StreamingAgc, StreamingDownconverter, StreamingNotch};

@@ -64,27 +64,29 @@ impl LocalOscillator {
         self.actual().as_hz() - self.nominal.as_hz()
     }
 
+    /// Emits the next unit-magnitude LO phasor at sample rate `fs_hz`,
+    /// advancing internal phase (and accumulating phase noise) — the
+    /// single-sample streaming form of [`LocalOscillator::generate`], with
+    /// identical arithmetic and draw order.
+    #[inline]
+    pub fn next_phasor(&mut self, fs_hz: f64, rng: &mut Rand) -> Complex {
+        let step = std::f64::consts::TAU * self.actual().as_hz() / fs_hz;
+        let out = Complex::cis(self.phase);
+        self.phase += step;
+        if self.linewidth_hz > 0.0 {
+            let pn_sigma = (std::f64::consts::TAU * self.linewidth_hz / fs_hz).sqrt();
+            self.phase += pn_sigma * rng.gaussian();
+        }
+        if self.phase > std::f64::consts::PI {
+            self.phase = self.phase.rem_euclid(std::f64::consts::TAU);
+        }
+        out
+    }
+
     /// Generates `n` unit-magnitude LO phasors at sample rate `fs_hz`,
     /// advancing internal phase (and accumulating phase noise).
     pub fn generate(&mut self, n: usize, fs_hz: f64, rng: &mut Rand) -> Vec<Complex> {
-        let step = std::f64::consts::TAU * self.actual().as_hz() / fs_hz;
-        let pn_sigma = if self.linewidth_hz > 0.0 {
-            (std::f64::consts::TAU * self.linewidth_hz / fs_hz).sqrt()
-        } else {
-            0.0
-        };
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(Complex::cis(self.phase));
-            self.phase += step;
-            if pn_sigma > 0.0 {
-                self.phase += pn_sigma * rng.gaussian();
-            }
-            if self.phase > std::f64::consts::PI {
-                self.phase = self.phase.rem_euclid(std::f64::consts::TAU);
-            }
-        }
-        out
+        (0..n).map(|_| self.next_phasor(fs_hz, rng)).collect()
     }
 
     /// The *baseband-equivalent* rotation this LO imprints after mixing

@@ -62,6 +62,11 @@ impl TunableNotch {
         self.q
     }
 
+    /// The sample rate the notch was designed for.
+    pub fn sample_rate(&self) -> SampleRate {
+        self.fs
+    }
+
     /// The −3 dB notch width in hertz (≈ `f_design/Q` mapped to the sample
     /// rate — narrow relative to a 500 MHz UWB channel by design).
     pub fn notch_width_hz(&self) -> f64 {

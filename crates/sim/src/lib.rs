@@ -36,6 +36,7 @@ pub mod interference;
 pub mod montecarlo;
 pub mod pathloss;
 pub mod rng;
+pub mod stream;
 pub mod sv_channel;
 pub mod time;
 
@@ -44,5 +45,6 @@ pub use interference::{Interferer, InterfererKind};
 pub use montecarlo::{Merge, MonteCarlo, RunOutcome, RunStats, StopReason};
 pub use pathloss::LinkBudget;
 pub use rng::{derive_trial_seed, Rand};
+pub use stream::{StreamingAwgn, StreamingChannel, StreamingInterferer};
 pub use sv_channel::{ChannelModel, ChannelRealization, SvParams, Tap};
 pub use time::{Hertz, Picoseconds, SampleRate};

@@ -498,7 +498,7 @@ mod tests {
         );
         assert_eq!(out.value, 64);
         let n = builds.load(Ordering::Relaxed);
-        assert!(n >= 1 && n <= 2, "state built once per worker, got {n}");
+        assert!((1..=2).contains(&n), "state built once per worker, got {n}");
     }
 
     #[test]

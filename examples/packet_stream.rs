@@ -1,10 +1,15 @@
 //! Packet-stream capture: scan one long, noisy record containing several
 //! packets separated by silence — the way a logging receiver actually runs.
 //!
+//! Since the streaming port this uses [`uwb::phy::StreamRx`]: the capture is
+//! fed in fixed-size blocks (here 2048 samples, as if draining a DMA ring)
+//! and packets pop out incrementally, with receiver memory bounded by one
+//! frame regardless of how long the capture runs.
+//!
 //! Run with: `cargo run --release --example packet_stream`
 
 use uwb::dsp::Complex;
-use uwb::phy::{Gen2Config, Gen2Receiver, Gen2Transmitter};
+use uwb::phy::{Gen2Config, Gen2Transmitter, StreamRx};
 use uwb::sim::awgn::add_awgn_complex;
 use uwb::sim::{ChannelModel, ChannelRealization, Rand};
 
@@ -14,7 +19,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Gen2Config::nominal_100mbps()
     };
     let tx = Gen2Transmitter::new(config.clone())?;
-    let rx = Gen2Receiver::new(config.clone())?;
     let mut rng = Rand::new(44);
 
     // Build a capture: three packets, idle gaps, CM1 multipath, noise.
@@ -35,9 +39,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         messages.len()
     );
 
-    // One call scans the whole record.
-    let packets = rx.receive_stream(&capture);
-    println!("decoded {} packets:", packets.len());
+    // Feed the capture block-by-block through the incremental receiver.
+    const BLOCK: usize = 2048;
+    let mut rx = StreamRx::new(config.clone(), 64)?;
+    for block in capture.chunks(BLOCK) {
+        rx.push_block(block);
+    }
+    rx.finish(); // drain the truncated tail
+
+    let packets: Vec<_> = rx.drain_packets().collect();
+    println!(
+        "decoded {} packets (block size {BLOCK}, peak buffer {} samples):",
+        packets.len(),
+        rx.buffer_capacity()
+    );
     for (offset, packet) in &packets {
         println!(
             "  @ {:>6} samples ({:>6.2} µs): {:?}  (sync metric {:.2})",
@@ -51,6 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ((_, p), m) in packets.iter().zip(&messages) {
         assert_eq!(&p.payload[..], *m);
     }
+    assert!(
+        rx.buffer_capacity() < capture.len() / 2,
+        "streaming receiver should never buffer anything close to the capture"
+    );
     println!("all payloads CRC-verified");
     Ok(())
 }

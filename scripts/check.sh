@@ -14,8 +14,16 @@
 #                             -D warnings, and the allocation-regression
 #                             tests with telemetry enabled (the span/counter
 #                             warm path must stay at zero heap allocations)
+#   scripts/check.sh stream   streaming gate: chunk-size-invariance /
+#                             batch-parity / bounded-memory tests, the
+#                             allocation gate (covers the streamed trial),
+#                             then stream_link vs BENCH_stream.json — the
+#                             streamed path must stay within
+#                             STREAM_MAX_OVERHEAD percent (default 5) of
+#                             batch throughput and its counters must match
+#                             bit-for-bit
 #   scripts/check.sh all      tier-1, then the whole workspace's tests, then
-#                             smoke, then obs
+#                             smoke, then obs, then stream
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -56,6 +64,19 @@ obs() {
     cargo test -q --test telemetry_schema
 }
 
+stream() {
+    local tol="${BENCH_TOL:-15}"
+    local max_overhead="${STREAM_MAX_OVERHEAD:-5}"
+    echo "== stream: chunk-size invariance + batch parity + bounded memory =="
+    cargo test -q --release --test stream_parity
+    echo "== stream: zero-allocation warm streamed trial =="
+    cargo test -q --release --test alloc_regression
+    echo "== stream: stream_link vs committed BENCH_stream.json (overhead gate ${max_overhead}%) =="
+    cargo build --release -p uwb-bench --bin stream_link
+    UWB_THREADS=1 ./target/release/stream_link \
+        --check BENCH_stream.json --tol "$tol" --max-overhead "$max_overhead"
+}
+
 case "$mode" in
 tier1)
     tier1
@@ -69,15 +90,19 @@ bench)
 obs)
     obs
     ;;
+stream)
+    stream
+    ;;
 all)
     tier1
     echo "== workspace: cargo test -q --workspace =="
     cargo test -q --workspace
     smoke
     obs
+    stream
     ;;
 *)
-    echo "usage: scripts/check.sh [tier1|smoke|bench|obs|all]" >&2
+    echo "usage: scripts/check.sh [tier1|smoke|bench|obs|stream|all]" >&2
     exit 2
     ;;
 esac

@@ -78,6 +78,13 @@ static COUNTING: CountingAlloc = CountingAlloc;
 /// then run many more and require the global allocation counter to stand
 /// still. Uses the same smoke scenario as the Monte-Carlo engine and
 /// `dspbench` (AWGN, `preamble_repeats = 2`, 24-byte payload).
+///
+/// The same gate covers the *streamed* synthesis path
+/// (`trial_ber_streamed`): after warm-up, block-based trials must also add
+/// zero allocations — the streaming operators draw all per-block workspace
+/// from the worker's scratch pool and carry their state in reused storage.
+/// (Both sections live in this one `#[test]` so no concurrent test can
+/// pollute the counter.)
 #[test]
 fn gen2_fast_path_steady_state_is_allocation_free() {
     let config = Gen2Config {
@@ -111,4 +118,28 @@ fn gen2_fast_path_steady_state_is_allocation_free() {
     );
     // Sanity: the loop actually demodulated bits.
     assert!(counter.total > 0, "trials produced no bits");
+
+    // --- Streamed synthesis path: same contract at a finite block size. ---
+    const BLOCK: usize = 4096;
+    // Warm the streamed path's own storage (streaming channel taps/history).
+    for t in 0..3 {
+        let mut rng = Rand::for_trial(scenario.seed, t);
+        worker.trial_ber_streamed(&scenario, 24, BLOCK, &mut rng, &mut counter);
+    }
+
+    let before = thread_allocs();
+    for t in 0..200 {
+        let mut rng = Rand::for_trial(scenario.seed, t);
+        worker.trial_ber_streamed(&scenario, 24, BLOCK, &mut rng, &mut counter);
+    }
+    let after = thread_allocs();
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state streamed trials must not allocate ({} allocations \
+         across 200 trials at block {})",
+        after - before,
+        BLOCK
+    );
 }

@@ -305,6 +305,39 @@ impl BlockProcessor for DelayStage {
     }
 }
 
+/// Accumulates `gain * src` into `dst` over the overlapping prefix
+/// (`min(dst.len(), src.len())` samples), leaving any `dst` tail untouched.
+///
+/// This is the primitive of the multi-source block mixer: a receiver's
+/// input record is its own signal plus scaled foreign records. The
+/// per-sample operation is a single fused `dst += gain * src` with a fixed
+/// source order chosen by the caller, so mixing whole records or mixing the
+/// same records block-by-block produces **bit-identical** results (the
+/// summation order per output sample never depends on the partition).
+pub fn accumulate_scaled(dst: &mut [Complex], src: &[Complex], gain: f64) {
+    let n = dst.len().min(src.len());
+    for (d, s) in dst[..n].iter_mut().zip(&src[..n]) {
+        d.re += gain * s.re;
+        d.im += gain * s.im;
+    }
+}
+
+/// Mixes one victim record with a fixed-order set of scaled foreign
+/// records: `out = own + Σ_k gain_k · src_k`, evaluated source-major so
+/// each output sample's floating-point summation order is exactly the
+/// order of `contributions`.
+///
+/// `out` is resized to `own.len()`; foreign records shorter than `own`
+/// contribute only over their length, longer ones are truncated. Reuses
+/// `out`'s capacity — zero allocations once warm.
+pub fn mix_sources_into(out: &mut Vec<Complex>, own: &[Complex], contributions: &[(&[Complex], f64)]) {
+    out.clear();
+    out.extend_from_slice(own);
+    for &(src, gain) in contributions {
+        accumulate_scaled(out, src, gain);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +423,61 @@ mod tests {
         chain.push(Box::new(DelayStage::new(1)));
         let names: Vec<_> = chain.stage_names().collect();
         assert_eq!(names, vec!["gain", "delay"]);
+    }
+
+    #[test]
+    fn accumulate_scaled_overlapping_prefix() {
+        let mut dst = ramp(6);
+        let src = ramp(4);
+        let before = dst.clone();
+        accumulate_scaled(&mut dst, &src, 0.5);
+        for i in 0..4 {
+            assert_eq!(dst[i].re, before[i].re + 0.5 * src[i].re);
+            assert_eq!(dst[i].im, before[i].im + 0.5 * src[i].im);
+        }
+        // Tail beyond the source untouched.
+        assert_eq!(dst[4], before[4]);
+        assert_eq!(dst[5], before[5]);
+    }
+
+    #[test]
+    fn mix_sources_into_matches_manual_sum_and_reuses_buffer() {
+        let own = ramp(16);
+        let a = ramp(16);
+        let b: Vec<Complex> = ramp(12).iter().map(|z| *z * Complex::new(0.0, 1.0)).collect();
+        let mut out = Vec::new();
+        mix_sources_into(&mut out, &own, &[(&a, 0.25), (&b, -0.5)]);
+        let mut manual = own.clone();
+        accumulate_scaled(&mut manual, &a, 0.25);
+        accumulate_scaled(&mut manual, &b, -0.5);
+        assert_eq!(out, manual);
+        // Warm path: same-length remix does not reallocate.
+        let cap = out.capacity();
+        mix_sources_into(&mut out, &own, &[(&a, 1.0)]);
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn mixing_is_block_partition_invariant() {
+        // Mixing the whole record at once vs. mixing block-by-block must be
+        // bit-identical: per-sample summation order is source order either
+        // way.
+        let own = ramp(64);
+        let a = ramp(64);
+        let b = ramp(64);
+        let mut whole = Vec::new();
+        mix_sources_into(&mut whole, &own, &[(&a, 0.3), (&b, 0.7)]);
+
+        let mut blocked = own.clone();
+        for start in (0..64).step_by(7) {
+            let end = (start + 7).min(64);
+            accumulate_scaled(&mut blocked[start..end], &a[start..end], 0.3);
+            accumulate_scaled(&mut blocked[start..end], &b[start..end], 0.7);
+        }
+        for (w, bl) in whole.iter().zip(blocked.iter()) {
+            assert_eq!(w.re.to_bits(), bl.re.to_bits());
+            assert_eq!(w.im.to_bits(), bl.im.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! The network controller: channel allocation + per-link adaptation.
+//!
+//! Everything that *reacts to measurements* happens here, in a serial,
+//! deterministic **planning phase** before the Monte-Carlo measurement
+//! phase starts. The deterministic parallel engine forbids carrying
+//! information between trials through worker state, so closed-loop control
+//! cannot run inside the measurement loop; instead the controller probes
+//! the network once (real synthesized waveforms, real
+//! `uwb_phy::spectral` measurements), freezes its decisions into a
+//! [`NetPlan`], and the measurement phase replays that static plan —
+//! bit-identically for any `UWB_THREADS`.
+
+use crate::coupling::{build_coupling, coupling_db, CouplingRow};
+use crate::scenario::{ChannelPolicy, NetScenario};
+use uwb_dsp::complex::mean_power;
+use uwb_dsp::stream::accumulate_scaled;
+use uwb_dsp::Complex;
+use uwb_phy::bandplan::Channel;
+use uwb_phy::{ChannelConditions, InterfererReport, LinkAdapter, OperatingPoint, PowerModel, SpectralMonitor};
+use uwb_platform::link::{channel_rms_delay_ns, LinkScenario, LinkWorker};
+use uwb_sim::rng::derive_trial_seed;
+use uwb_sim::Rand;
+
+/// Salt that decorrelates per-link seed streams from the engine's per-round
+/// trial seeds (both derive from the scenario master seed).
+const LINK_SEED_SALT: u64 = 0x9e3a_75f1_7c15_2bd1;
+
+/// The reserved trial index used for planning probes — measurement rounds
+/// are `0..rounds` and never reach it.
+const PROBE_ROUND: u64 = u64::MAX;
+
+/// Decorrelated master seed for link `l` of a network with master seed
+/// `net_seed`. Round `r` of link `l` runs on `Rand::for_trial(seed, r)` —
+/// the same schedule a single-link streamed run with `scenario.seed = seed`
+/// uses for trial `r`, which is what makes the isolation bit-parity
+/// contract testable.
+pub fn link_seed(net_seed: u64, l: usize) -> u64 {
+    derive_trial_seed(net_seed ^ LINK_SEED_SALT, l as u64)
+}
+
+/// Frozen per-link plan entry.
+#[derive(Debug, Clone)]
+pub struct NetLinkPlan {
+    /// The link's complete single-link scenario: adapted config (with the
+    /// assigned channel written in), Eb/N0, channel model, and the link's
+    /// decorrelated seed.
+    pub scenario: LinkScenario,
+    /// The assigned band-plan channel (also in `scenario.config.channel`).
+    pub channel: Channel,
+    /// Probe-measured interference power at this receiver relative to its
+    /// own signal power, in dB (`-inf` when nothing couples).
+    pub interference_rel_db: f64,
+    /// Spectral-monitor report over the probe superposition (planning
+    /// diagnostic; drives the adapter's `interferer_present`).
+    pub spectral: InterfererReport,
+    /// The adapter's chosen operating point when adaptation is enabled.
+    pub operating: Option<OperatingPoint>,
+}
+
+/// The frozen network plan: everything the measurement phase needs, and
+/// nothing it may mutate.
+#[derive(Debug, Clone)]
+pub struct NetPlan {
+    /// Per-link entries, indexed by link id.
+    pub links: Vec<NetLinkPlan>,
+    /// Row `v`: foreign transmitters coupling into receiver `v`
+    /// (ascending-index, amplitude gains).
+    pub coupling: Vec<CouplingRow>,
+    /// Payload bytes per packet.
+    pub payload_len: usize,
+    /// Streaming block length in samples.
+    pub block_len: usize,
+    /// Measurement rounds.
+    pub rounds: u64,
+    /// Network master seed (the Monte-Carlo master).
+    pub seed: u64,
+}
+
+impl NetPlan {
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` when the plan has no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The decorrelated master seed of link `l` (equals
+    /// `self.links[l].scenario.seed`).
+    pub fn link_seed(&self, l: usize) -> u64 {
+        self.links[l].scenario.seed
+    }
+}
+
+/// Runs the planning phase: probe synthesis, channel allocation,
+/// measurement-driven adaptation, coupling-table construction.
+///
+/// Serial and deterministic — a pure function of the scenario. Telemetry:
+/// the whole phase runs under a `net_schedule` span.
+///
+/// # Panics
+///
+/// Panics if the scenario has no links, a policy candidate list is empty,
+/// or an adapted configuration fails validation.
+pub fn plan_network(scenario: &NetScenario) -> NetPlan {
+    let _t = uwb_obs::span!("net_schedule");
+    let n = scenario.len();
+    assert!(n > 0, "network needs at least one link");
+
+    // --- Probe synthesis: each link's clean at-victim waveform. ---
+    // Probes use the *base* config so allocation decisions do not depend on
+    // the adaptation they feed.
+    let probe_scenarios: Vec<LinkScenario> = (0..n)
+        .map(|l| LinkScenario {
+            config: scenario.base_config.clone(),
+            channel: scenario.channel_model,
+            ebn0_db: scenario.ebn0_db,
+            interferer: None,
+            notch_enabled: false,
+            seed: link_seed(scenario.seed, l),
+        })
+        .collect();
+    let mut probes: Vec<Vec<Complex>> = Vec::with_capacity(n);
+    let mut probe_n0 = Vec::with_capacity(n);
+    for ps in &probe_scenarios {
+        let mut worker = LinkWorker::new(ps);
+        let mut rng = Rand::for_trial(ps.seed, PROBE_ROUND);
+        let clean =
+            worker.synthesize_clean_streamed(ps, scenario.payload_len, scenario.block_len, &mut rng);
+        probe_n0.push(clean.n0);
+        probes.push(worker.clean_record().to_vec());
+    }
+
+    // --- Channel allocation. ---
+    let channels = allocate_channels(scenario, &probes);
+
+    // --- Per-link probe measurements on the final assignment. ---
+    let monitor = SpectralMonitor::new();
+    let fs_hz = scenario.base_config.sample_rate.as_hz();
+    let mut mix = Vec::new();
+    let mut entries = Vec::with_capacity(n);
+    let mut curve = Vec::new(); // reused across links (trade_curve_into)
+    let adapter = LinkAdapter::new(scenario.base_config.clone(), PowerModel::cmos180());
+    let delay_ns = channel_rms_delay_ns(scenario.channel_model, 8, scenario.seed);
+    for v in 0..n {
+        // Interference superposition at receiver v under the final plan.
+        mix.clear();
+        mix.resize(probes[v].len(), Complex::ZERO);
+        let mut any = false;
+        for u in 0..n {
+            if u == v {
+                continue;
+            }
+            if let Some(db) = coupling_db(
+                &scenario.topology,
+                &scenario.selectivity,
+                u,
+                channels[u],
+                v,
+                channels[v],
+            ) {
+                accumulate_scaled(&mut mix, &probes[u], 10f64.powf(db / 20.0));
+                any = true;
+            }
+        }
+        let p_own = mean_power(&probes[v]).max(1e-300);
+        let p_intf = if any { mean_power(&mix) } else { 0.0 };
+        let interference_rel_db = if p_intf > 0.0 {
+            10.0 * (p_intf / p_own).log10()
+        } else {
+            f64::NEG_INFINITY
+        };
+
+        // Spectral measurement over own signal + interference.
+        accumulate_scaled(&mut mix, &probes[v], 1.0);
+        let spectral = monitor.analyze(&mix, fs_hz);
+
+        // Adaptation: probe-measured SINR → operating point. The noise
+        // power per complex sample is n0 (two-sided, I+Q), so the SNR
+        // degradation from interference is (N + I) / N.
+        let mut config = scenario.base_config.clone();
+        config.channel = channels[v];
+        let operating = if scenario.adapt {
+            let p_noise = probe_n0[v].max(1e-300);
+            let degradation_db = 10.0 * (1.0 + p_intf / p_noise).log10();
+            let conditions = ChannelConditions {
+                snr_db: scenario.ebn0_db - degradation_db,
+                delay_spread_ns: delay_ns,
+                interferer_present: spectral.detected || any,
+            };
+            // Evaluate the trade curve around the measured point (buffer
+            // reused across links — `trade_curve_into` keeps this loop
+            // allocation-free once warm) and adopt the adapter's choice.
+            adapter.trade_curve_into(
+                &[
+                    conditions.snr_db - 4.0,
+                    conditions.snr_db,
+                    conditions.snr_db + 4.0,
+                ],
+                delay_ns,
+                &mut curve,
+            );
+            let op = adapter.adapt(&conditions);
+            config = Gen2ConfigWithChannel(op.config.clone(), channels[v]).into_config();
+            config.validate().expect("adapted config");
+            Some(op)
+        } else {
+            None
+        };
+
+        entries.push(NetLinkPlan {
+            scenario: LinkScenario {
+                config,
+                channel: scenario.channel_model,
+                ebn0_db: scenario.ebn0_db,
+                interferer: None,
+                notch_enabled: false,
+                seed: link_seed(scenario.seed, v),
+            },
+            channel: channels[v],
+            interference_rel_db,
+            spectral,
+            operating,
+        });
+    }
+
+    let coupling = build_coupling(&scenario.topology, &scenario.selectivity, &channels);
+
+    NetPlan {
+        links: entries,
+        coupling,
+        payload_len: scenario.payload_len,
+        block_len: scenario.block_len,
+        rounds: scenario.rounds,
+        seed: scenario.seed,
+    }
+}
+
+/// Tiny helper keeping the channel assignment authoritative over whatever
+/// channel the adapter's base config carried.
+struct Gen2ConfigWithChannel(uwb_phy::Gen2Config, Channel);
+
+impl Gen2ConfigWithChannel {
+    fn into_config(self) -> uwb_phy::Gen2Config {
+        let mut c = self.0;
+        c.channel = self.1;
+        c
+    }
+}
+
+/// Executes the scenario's channel-allocation policy.
+fn allocate_channels(scenario: &NetScenario, probes: &[Vec<Complex>]) -> Vec<Channel> {
+    let n = scenario.len();
+    match &scenario.policy {
+        ChannelPolicy::Static(chs) | ChannelPolicy::RoundRobin(chs) => {
+            assert!(!chs.is_empty(), "channel policy needs candidates");
+            (0..n).map(|l| chs[l % chs.len()]).collect()
+        }
+        ChannelPolicy::InterferenceAware(candidates) => {
+            assert!(!candidates.is_empty(), "channel policy needs candidates");
+            let mut assigned: Vec<Channel> = Vec::with_capacity(n);
+            let mut mix = Vec::new();
+            for v in 0..n {
+                let mut best = candidates[0];
+                let mut best_power = f64::INFINITY;
+                for &cand in candidates {
+                    // Measured interference power at v on this candidate:
+                    // superpose the already-assigned transmitters' probe
+                    // waveforms through the coupling model and measure.
+                    mix.clear();
+                    mix.resize(probes[v].len(), Complex::ZERO);
+                    let mut any = false;
+                    for (u, &ch_u) in assigned.iter().enumerate() {
+                        if let Some(db) = coupling_db(
+                            &scenario.topology,
+                            &scenario.selectivity,
+                            u,
+                            ch_u,
+                            v,
+                            cand,
+                        ) {
+                            accumulate_scaled(&mut mix, &probes[u], 10f64.powf(db / 20.0));
+                            any = true;
+                        }
+                    }
+                    let p = if any { mean_power(&mix) } else { 0.0 };
+                    if p < best_power {
+                        best_power = p;
+                        best = cand;
+                    }
+                }
+                assigned.push(best);
+            }
+            assigned
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uwb_sim::topology::Topology;
+
+    #[test]
+    fn link_seeds_are_decorrelated() {
+        let s0 = link_seed(42, 0);
+        let s1 = link_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, 42);
+        // Different master seeds move every link seed.
+        assert_ne!(link_seed(43, 0), s0);
+    }
+
+    #[test]
+    fn round_robin_assignment_cycles() {
+        let mut sc = NetScenario::ring(5, 8.0, 1);
+        sc.policy = ChannelPolicy::RoundRobin(vec![
+            Channel::new(0).unwrap(),
+            Channel::new(5).unwrap(),
+            Channel::new(10).unwrap(),
+        ]);
+        sc.rounds = 1;
+        let plan = plan_network(&sc);
+        let idx: Vec<usize> = plan.links.iter().map(|l| l.channel.index()).collect();
+        assert_eq!(idx, vec![0, 5, 10, 0, 5]);
+        assert_eq!(plan.len(), 5);
+    }
+
+    #[test]
+    fn static_assignment_sets_config_channel() {
+        let mut sc = NetScenario::ring(2, 8.0, 2);
+        sc.policy = ChannelPolicy::Static(vec![Channel::new(7).unwrap()]);
+        sc.rounds = 1;
+        let plan = plan_network(&sc);
+        for l in &plan.links {
+            assert_eq!(l.channel.index(), 7);
+            assert_eq!(l.scenario.config.channel.index(), 7);
+        }
+        // Co-channel pair: each receiver sees the other transmitter.
+        assert_eq!(plan.coupling[0], vec![(1, plan.coupling[0][0].1)]);
+        assert!(plan.coupling[0][0].1 > 0.0);
+    }
+
+    #[test]
+    fn interference_aware_spreads_co_located_links() {
+        // Two tightly packed links: the greedy policy must not put the
+        // second on the first's channel when a far channel is available.
+        let mut sc = NetScenario::ring(2, 8.0, 3);
+        sc.topology = Topology::ring(2, 0.5, 1.0);
+        sc.policy = ChannelPolicy::InterferenceAware(vec![
+            Channel::new(3).unwrap(),
+            Channel::new(9).unwrap(),
+        ]);
+        sc.rounds = 1;
+        let plan = plan_network(&sc);
+        assert_eq!(plan.links[0].channel.index(), 3, "first pick: first candidate");
+        assert_eq!(plan.links[1].channel.index(), 9, "second link must dodge");
+        assert!(plan.coupling.iter().all(|r| r.is_empty()));
+        assert_eq!(plan.links[1].interference_rel_db, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn adaptation_produces_valid_operating_points() {
+        let mut sc = NetScenario::ring(4, 6.0, 4);
+        sc.adapt = true;
+        sc.policy = ChannelPolicy::Static(vec![Channel::new(3).unwrap()]);
+        sc.rounds = 1;
+        let plan = plan_network(&sc);
+        for l in &plan.links {
+            let op = l.operating.as_ref().expect("adapted");
+            op.config.validate().unwrap();
+            assert_eq!(l.scenario.config.channel, l.channel);
+            // All-co-channel, everyone sees interference.
+            assert!(op.rationale.contains("interferer"), "{}", op.rationale);
+            assert!(l.interference_rel_db.is_finite());
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let sc = NetScenario::ring(6, 8.0, 77);
+        let a = plan_network(&sc);
+        let b = plan_network(&sc);
+        assert_eq!(a.coupling, b.coupling);
+        for (x, y) in a.links.iter().zip(b.links.iter()) {
+            assert_eq!(x.channel, y.channel);
+            assert_eq!(x.scenario.seed, y.scenario.seed);
+            assert_eq!(
+                x.interference_rel_db.to_bits(),
+                y.interference_rel_db.to_bits()
+            );
+        }
+    }
+}

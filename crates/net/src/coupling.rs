@@ -1,0 +1,165 @@
+//! The coupling model: how much of transmitter `u`'s waveform lands in
+//! receiver `v`'s baseband, relative to `v`'s own signal.
+//!
+//! Three multiplicative (additive-in-dB) terms:
+//!
+//! 1. **Geometry** — `Topology::relative_gain_db(u, v, f)`: the path-loss
+//!    difference between the interfering path and the victim's own path
+//!    (the near–far term).
+//! 2. **Spectral overlap** — `Channel::overlap_attenuation_db`: 0 dB
+//!    co-channel; `-inf` for disjoint occupied bands (all distinct channel
+//!    pairs on the 528 MHz grid).
+//! 3. **Front-end selectivity** — `ChannelSelectivity::rejection_db` keyed
+//!    on the occupied-band gap: the *finite* leakage through real filters
+//!    that makes adjacent channels couple even though their occupied bands
+//!    are disjoint. Below the selectivity floor the coupling is dropped
+//!    entirely (`None`), which is what makes a link on a far channel
+//!    **bit-identical** to an isolated link rather than merely close.
+
+use uwb_phy::bandplan::Channel;
+use uwb_rf::ChannelSelectivity;
+use uwb_sim::topology::Topology;
+
+/// Relative power gain (dB) of transmitter `u` into receiver `v`, or
+/// `None` when the coupling falls below the front end's selectivity floor
+/// and is dropped from the simulation.
+///
+/// `ch_u`/`ch_v` are the links' assigned channels; geometry is evaluated at
+/// the victim's carrier.
+pub fn coupling_db(
+    topology: &Topology,
+    selectivity: &ChannelSelectivity,
+    u: usize,
+    ch_u: Channel,
+    v: usize,
+    ch_v: Channel,
+) -> Option<f64> {
+    let spectral_db = if ch_u == ch_v {
+        // Co-channel: full occupied-band overlap, 0 dB.
+        ch_v.overlap_attenuation_db(ch_u)
+    } else {
+        // Disjoint occupied bands: only the front end's finite stop-band
+        // leakage couples. Below the floor the term vanishes outright.
+        selectivity.rejection_db(ch_v.gap_hz(ch_u))?
+    };
+    if spectral_db == f64::NEG_INFINITY {
+        return None;
+    }
+    let spatial_db = topology.relative_gain_db(u, v, ch_v.center());
+    Some(spatial_db + spectral_db)
+}
+
+/// One victim's interference sources: `(tx_link, linear_amplitude_gain)`
+/// pairs in ascending `tx_link` order — the fixed mixing order that keeps
+/// the superposition bit-identical for any thread count and block split.
+pub type CouplingRow = Vec<(usize, f64)>;
+
+/// Builds the full coupling table for an assignment of links to channels.
+/// Row `v` lists every foreign transmitter that couples into receiver `v`
+/// above the selectivity floor, with its **amplitude** gain
+/// (`10^(dB/20)`, since records are mixed in amplitude).
+pub fn build_coupling(
+    topology: &Topology,
+    selectivity: &ChannelSelectivity,
+    channels: &[Channel],
+) -> Vec<CouplingRow> {
+    let n = topology.len();
+    assert_eq!(channels.len(), n, "one channel per link");
+    (0..n)
+        .map(|v| {
+            (0..n)
+                .filter(|&u| u != v)
+                .filter_map(|u| {
+                    coupling_db(topology, selectivity, u, channels[u], v, channels[v])
+                        .map(|db| (u, 10f64.powf(db / 20.0)))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring2() -> Topology {
+        Topology::ring(2, 2.0, 1.0)
+    }
+
+    #[test]
+    fn co_channel_couples_at_spatial_gain() {
+        let topo = ring2();
+        let sel = ChannelSelectivity::gen2();
+        let ch = Channel::new(3).unwrap();
+        let db = coupling_db(&topo, &sel, 1, ch, 0, ch).unwrap();
+        let spatial = topo.relative_gain_db(1, 0, ch.center());
+        assert!((db - spatial).abs() < 1e-12, "{db} vs {spatial}");
+    }
+
+    #[test]
+    fn adjacent_channel_attenuated_by_selectivity() {
+        let topo = ring2();
+        let sel = ChannelSelectivity::gen2();
+        let a = Channel::new(3).unwrap();
+        let b = Channel::new(4).unwrap();
+        let co = coupling_db(&topo, &sel, 1, a, 0, a).unwrap();
+        let adj = coupling_db(&topo, &sel, 1, b, 0, a).unwrap();
+        assert!((co - adj - 30.0).abs() < 1e-9, "co {co} adj {adj}");
+    }
+
+    #[test]
+    fn far_channel_coupling_dropped() {
+        let topo = ring2();
+        let sel = ChannelSelectivity::gen2();
+        let a = Channel::new(0).unwrap();
+        let b = Channel::new(13).unwrap();
+        assert_eq!(coupling_db(&topo, &sel, 1, b, 0, a), None);
+        // Three channels away already falls below the gen2 floor.
+        let c = Channel::new(3).unwrap();
+        assert_eq!(coupling_db(&topo, &sel, 1, c, 0, a), None);
+    }
+
+    #[test]
+    fn brick_wall_drops_everything_off_channel() {
+        let topo = ring2();
+        let sel = ChannelSelectivity::brick_wall();
+        let a = Channel::new(3).unwrap();
+        let b = Channel::new(4).unwrap();
+        assert!(coupling_db(&topo, &sel, 1, a, 0, a).is_some());
+        assert_eq!(coupling_db(&topo, &sel, 1, b, 0, a), None);
+    }
+
+    #[test]
+    fn coupling_table_shape_and_order() {
+        let topo = Topology::ring(4, 3.0, 1.0);
+        let sel = ChannelSelectivity::gen2();
+        let ch3 = Channel::new(3).unwrap();
+        let rows = build_coupling(&topo, &sel, &[ch3; 4]);
+        assert_eq!(rows.len(), 4);
+        for (v, row) in rows.iter().enumerate() {
+            // All-co-channel: everyone couples into everyone.
+            assert_eq!(row.len(), 3, "victim {v}");
+            // Ascending tx order (the deterministic mixing order).
+            for w in row.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+            for &(u, g) in row {
+                assert_ne!(u, v);
+                assert!(g > 0.0 && g.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn spread_channels_decouple_table() {
+        let topo = Topology::ring(3, 3.0, 1.0);
+        let sel = ChannelSelectivity::gen2();
+        let chans = [
+            Channel::new(0).unwrap(),
+            Channel::new(6).unwrap(),
+            Channel::new(12).unwrap(),
+        ];
+        let rows = build_coupling(&topo, &sel, &chans);
+        assert!(rows.iter().all(|r| r.is_empty()), "{rows:?}");
+    }
+}

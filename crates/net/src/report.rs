@@ -1,0 +1,143 @@
+//! Network measurement reports: per-link BER/PER/throughput and the
+//! aggregate network throughput.
+
+use crate::controller::{NetLinkPlan, NetPlan};
+use crate::runner::LinkRoundStats;
+use uwb_phy::bandplan::Channel;
+use uwb_platform::metrics::ErrorCounter;
+use uwb_platform::report::Table;
+use uwb_sim::montecarlo::RunStats;
+
+/// One link's measured outcome.
+#[derive(Debug, Clone)]
+pub struct LinkReport {
+    /// The link's assigned band-plan channel.
+    pub channel: Channel,
+    /// Bit-level error counter over all measurement rounds.
+    pub counter: ErrorCounter,
+    /// Packets attempted (one per round).
+    pub packets: u64,
+    /// Packets with at least one bit error or a decode failure.
+    pub packets_bad: u64,
+    /// The link's configured physical bit rate (bit/s).
+    pub bit_rate: f64,
+    /// Goodput proxy: `bit_rate × (1 − PER)` (bit/s).
+    pub throughput_bps: f64,
+    /// Probe-measured interference power relative to the link's own signal
+    /// (dB; `-inf` when nothing couples).
+    pub interference_rel_db: f64,
+}
+
+impl LinkReport {
+    /// Assembles a link report from its plan entry and round statistics.
+    pub fn new(plan: &NetLinkPlan, stats: &LinkRoundStats) -> LinkReport {
+        let bit_rate = plan.scenario.config.bit_rate();
+        LinkReport {
+            channel: plan.channel,
+            counter: stats.ber,
+            packets: stats.packets,
+            packets_bad: stats.packets_bad,
+            bit_rate,
+            throughput_bps: bit_rate * (1.0 - stats.per()),
+            interference_rel_db: plan.interference_rel_db,
+        }
+    }
+
+    /// Measured bit error rate.
+    pub fn ber(&self) -> f64 {
+        self.counter.rate()
+    }
+
+    /// Measured packet error rate.
+    pub fn per(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.packets_bad as f64 / self.packets as f64
+        }
+    }
+}
+
+/// The complete network measurement report.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Per-link reports, indexed by link id.
+    pub links: Vec<LinkReport>,
+    /// Sum of all links' goodput (bit/s).
+    pub aggregate_throughput_bps: f64,
+    /// Engine execution statistics (trials = rounds; includes the
+    /// deterministic telemetry snapshot when `obs` is enabled).
+    pub stats: RunStats,
+    /// The frozen plan the measurement replayed (channels, coupling,
+    /// adaptation decisions).
+    pub plan: NetPlan,
+}
+
+impl NetReport {
+    /// Assembles the report and computes the aggregate throughput.
+    pub fn new(links: Vec<LinkReport>, stats: RunStats, plan: NetPlan) -> NetReport {
+        let aggregate_throughput_bps = links.iter().map(|l| l.throughput_bps).sum();
+        NetReport {
+            links,
+            aggregate_throughput_bps,
+            stats,
+            plan,
+        }
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` when the report covers no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Renders the per-link table (`link / ch / BER / PER / I/S dB /
+    /// throughput`) used by the experiment binaries.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "link", "ch", "bits", "errors", "BER", "PER", "I/S dB", "Mbit/s",
+        ]);
+        for (l, r) in self.links.iter().enumerate() {
+            let isr = if r.interference_rel_db.is_finite() {
+                format!("{:.1}", r.interference_rel_db)
+            } else {
+                "-inf".to_string()
+            };
+            t.row(vec![
+                l.to_string(),
+                r.channel.index().to_string(),
+                r.counter.total.to_string(),
+                r.counter.errors.to_string(),
+                format!("{:.2e}", r.ber()),
+                format!("{:.3}", r.per()),
+                isr,
+                format!("{:.1}", r.throughput_bps / 1e6),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_with_per() {
+        let plan = crate::controller::plan_network(&crate::scenario::NetScenario::ring(
+            1, 8.0, 9,
+        ));
+        let stats = LinkRoundStats {
+            packets: 4,
+            packets_bad: 1,
+            ..Default::default()
+        };
+        let r = LinkReport::new(&plan.links[0], &stats);
+        assert!((r.throughput_bps - r.bit_rate * 0.75).abs() < 1e-6);
+        assert_eq!(r.per(), 0.25);
+    }
+}

@@ -1,0 +1,276 @@
+//! The measurement phase: replaying a frozen [`NetPlan`] on the
+//! deterministic parallel Monte-Carlo engine.
+//!
+//! One engine *trial* is one network *round*: every link transmits one
+//! packet simultaneously; every receiver decodes its own packet out of the
+//! superposition of its clean waveform, every coupled foreign waveform
+//! (fixed ascending-transmitter mixing order), and its calibrated receiver
+//! noise. Rounds are independent by construction — all per-round state is
+//! re-derived from `Rand::for_trial(link_seed, round)` — so the engine's
+//! ordered-prefix merge makes the whole network run bit-identical for any
+//! `UWB_THREADS`.
+//!
+//! The warm path allocates nothing: every buffer (per-link workers, the
+//! mix buffer, the per-round clean-synthesis table) lives in [`NetWorker`]
+//! and is reused round after round.
+
+use crate::controller::{plan_network, NetPlan};
+use crate::report::{LinkReport, NetReport};
+use crate::scenario::NetScenario;
+use uwb_dsp::scratch::DspScratch;
+use uwb_dsp::stream::accumulate_scaled;
+use uwb_dsp::Complex;
+use uwb_platform::link::{CleanSynthesis, LinkWorker};
+use uwb_platform::metrics::ErrorCounter;
+use uwb_sim::montecarlo::{Merge, MonteCarlo};
+use uwb_sim::stream::StreamingAwgn;
+use uwb_sim::Rand;
+
+/// Per-link error statistics accumulated over measurement rounds.
+#[derive(Debug, Clone, Default)]
+pub struct LinkRoundStats {
+    /// Bit-level error counter (known-timing BER).
+    pub ber: ErrorCounter,
+    /// Packets attempted (= rounds contributing to the merge).
+    pub packets: u64,
+    /// Packets with at least one bit error or a decode failure.
+    pub packets_bad: u64,
+}
+
+impl LinkRoundStats {
+    /// Packet error rate over the contributing rounds.
+    pub fn per(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.packets_bad as f64 / self.packets as f64
+        }
+    }
+}
+
+impl Merge for LinkRoundStats {
+    fn merge(&mut self, other: &Self) {
+        self.ber.merge(&other.ber);
+        self.packets += other.packets;
+        self.packets_bad += other.packets_bad;
+    }
+}
+
+/// The engine's merge accumulator: one [`LinkRoundStats`] per link.
+///
+/// `Merge for Vec<T>` in the engine is *concatenation* (stream semantics),
+/// which is wrong here — network rounds must merge **element-wise** per
+/// link. The empty-default case (a fresh chunk accumulator) adopts the
+/// other side wholesale.
+#[derive(Debug, Clone, Default)]
+pub struct NetAccumulator {
+    /// Per-link statistics, indexed by link id.
+    pub links: Vec<LinkRoundStats>,
+}
+
+impl NetAccumulator {
+    /// Ensures `links` holds exactly `n` entries (idempotent).
+    fn ensure_len(&mut self, n: usize) {
+        if self.links.len() < n {
+            self.links.resize(n, LinkRoundStats::default());
+        }
+    }
+}
+
+impl Merge for NetAccumulator {
+    fn merge(&mut self, other: &Self) {
+        if self.links.is_empty() {
+            self.links.extend_from_slice(&other.links);
+            return;
+        }
+        assert_eq!(
+            self.links.len(),
+            other.links.len(),
+            "network accumulators must cover the same links"
+        );
+        for (a, b) in self.links.iter_mut().zip(&other.links) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Per-thread measurement state: one [`LinkWorker`] per link plus the
+/// reusable mixing buffers. Constructed once per engine worker; everything
+/// warm is allocation-free.
+pub struct NetWorker {
+    workers: Vec<LinkWorker>,
+    clean: Vec<CleanSynthesis>,
+    mixed: Vec<Complex>,
+    scratch: DspScratch,
+}
+
+impl NetWorker {
+    /// Builds the per-link workers from the frozen plan.
+    pub fn new(plan: &NetPlan) -> Self {
+        NetWorker {
+            workers: plan
+                .links
+                .iter()
+                .map(|l| LinkWorker::new(&l.scenario))
+                .collect(),
+            clean: Vec::with_capacity(plan.len()),
+            mixed: Vec::new(),
+            scratch: DspScratch::new(),
+        }
+    }
+
+    /// Runs one network round (= one engine trial) and accumulates every
+    /// link's outcome into `acc`.
+    ///
+    /// Phase 1 (`net_schedule`): each link synthesizes its clean at-receiver
+    /// record for this round on its own decorrelated per-round RNG.
+    /// Phase 2, per victim: mix own + coupled foreign records + calibrated
+    /// AWGN (`net_mix`), then decode and count (`net_rx`).
+    pub fn round(&mut self, plan: &NetPlan, round: u64, acc: &mut NetAccumulator) {
+        let n = plan.len();
+        acc.ensure_len(n);
+
+        // --- Phase 1: clean synthesis for every transmitter. ---
+        {
+            let _t = uwb_obs::span!("net_schedule");
+            self.clean.clear();
+            for (l, (worker, link)) in self.workers.iter_mut().zip(&plan.links).enumerate() {
+                let mut rng = Rand::for_trial(plan.link_seed(l), round);
+                let clean = worker.synthesize_clean_streamed(
+                    &link.scenario,
+                    plan.payload_len,
+                    plan.block_len,
+                    &mut rng,
+                );
+                self.clean.push(clean);
+            }
+        }
+
+        // --- Phase 2: per-victim mixing + reception. ---
+        for v in 0..n {
+            {
+                let _t = uwb_obs::span!("net_mix");
+                self.mixed.clear();
+                self.mixed
+                    .extend_from_slice(self.workers[v].clean_record());
+                // Fixed ascending-transmitter order: the summation order is
+                // part of the bit-exactness contract.
+                for &(u, gain) in &plan.coupling[v] {
+                    accumulate_scaled(&mut self.mixed, self.workers[u].clean_record(), gain);
+                }
+                // Receiver noise last, from the RNG state the single-link
+                // path would hold — an uncoupled link is bit-identical to
+                // an isolated streamed run.
+                let mut awgn =
+                    StreamingAwgn::new(self.clean[v].n0, self.clean[v].awgn_rng.clone());
+                uwb_dsp::stream::BlockProcessor::process_block(
+                    &mut awgn,
+                    &mut self.mixed,
+                    &mut self.scratch,
+                );
+            }
+            let _t = uwb_obs::span!("net_rx");
+            let stats = &mut acc.links[v];
+            stats.packets += 1;
+            let ok = self.workers[v].count_errors_in_record(
+                &plan.links[v].scenario.config,
+                &self.mixed,
+                self.clean[v].slot0_start,
+                &mut stats.ber,
+            );
+            if !ok {
+                stats.packets_bad += 1;
+            }
+        }
+    }
+}
+
+/// Plans and measures a complete network scenario: serial planning phase
+/// ([`plan_network`]), then `scenario.rounds` measurement rounds on the
+/// deterministic parallel engine, then report assembly.
+pub fn run_network(scenario: &NetScenario) -> NetReport {
+    run_plan(plan_network(scenario))
+}
+
+/// Measurement phase over an externally supplied (possibly hand-edited)
+/// plan. Worker count follows `UWB_THREADS` / available parallelism; the
+/// per-link counters are bit-identical either way.
+pub fn run_plan(plan: NetPlan) -> NetReport {
+    run_plan_engine(plan, None)
+}
+
+/// [`run_plan`] with an explicit worker-thread override — the hook the
+/// determinism tests use to compare thread counts within one process
+/// without racing on the `UWB_THREADS` environment variable.
+pub fn run_plan_threads(plan: NetPlan, threads: usize) -> NetReport {
+    run_plan_engine(plan, Some(threads))
+}
+
+fn run_plan_engine(plan: NetPlan, threads: Option<usize>) -> NetReport {
+    let mut engine = MonteCarlo::new(plan.seed, plan.rounds);
+    if let Some(t) = threads {
+        engine = engine.threads(t);
+    }
+    let outcome = engine.run(
+        || NetWorker::new(&plan),
+        |w: &mut NetWorker, round, _rng, acc: &mut NetAccumulator| w.round(&plan, round, acc),
+        |_| false,
+    );
+    let mut acc = outcome.value;
+    acc.ensure_len(plan.len());
+    let links: Vec<LinkReport> = plan
+        .links
+        .iter()
+        .zip(&acc.links)
+        .map(|(l, s)| LinkReport::new(l, s))
+        .collect();
+    NetReport::new(links, outcome.stats, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_round_stats_merge_is_elementwise() {
+        let mut a = NetAccumulator::default();
+        a.ensure_len(2);
+        a.links[0].packets = 3;
+        a.links[0].packets_bad = 1;
+        a.links[1].packets = 3;
+        let mut b = NetAccumulator::default();
+        b.ensure_len(2);
+        b.links[0].packets = 2;
+        b.links[1].packets = 2;
+        b.links[1].packets_bad = 2;
+        a.merge(&b);
+        assert_eq!(a.links.len(), 2, "element-wise, not concatenation");
+        assert_eq!(a.links[0].packets, 5);
+        assert_eq!(a.links[0].packets_bad, 1);
+        assert_eq!(a.links[1].packets, 5);
+        assert_eq!(a.links[1].packets_bad, 2);
+    }
+
+    #[test]
+    fn empty_accumulator_adopts_other_side() {
+        let mut a = NetAccumulator::default();
+        let mut b = NetAccumulator::default();
+        b.ensure_len(3);
+        b.links[2].packets = 7;
+        a.merge(&b);
+        assert_eq!(a.links.len(), 3);
+        assert_eq!(a.links[2].packets, 7);
+    }
+
+    #[test]
+    fn per_handles_zero_packets() {
+        let s = LinkRoundStats::default();
+        assert_eq!(s.per(), 0.0);
+        let s = LinkRoundStats {
+            packets: 4,
+            packets_bad: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.per(), 0.25);
+    }
+}

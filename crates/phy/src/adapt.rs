@@ -114,16 +114,24 @@ impl LinkAdapter {
     /// Enumerates the trade curve across a grid of conditions — used by the
     /// E12 experiment to print the power-vs-rate frontier.
     pub fn trade_curve(&self, snrs_db: &[f64], delay_ns: f64) -> Vec<OperatingPoint> {
-        snrs_db
-            .iter()
-            .map(|&snr| {
-                self.adapt(&ChannelConditions {
-                    snr_db: snr,
-                    delay_spread_ns: delay_ns,
-                    interferer_present: false,
-                })
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.trade_curve_into(snrs_db, delay_ns, &mut out);
+        out
+    }
+
+    /// Like [`trade_curve`](Self::trade_curve) but reuses `out`, so callers
+    /// that re-evaluate the curve in a loop (the network controller's
+    /// adaptation pass) avoid reallocating the vector each time. `out` is
+    /// cleared first; its capacity is retained across calls.
+    pub fn trade_curve_into(&self, snrs_db: &[f64], delay_ns: f64, out: &mut Vec<OperatingPoint>) {
+        out.clear();
+        for &snr in snrs_db {
+            out.push(self.adapt(&ChannelConditions {
+                snr_db: snr,
+                delay_spread_ns: delay_ns,
+                interferer_present: false,
+            }));
+        }
     }
 }
 
@@ -204,6 +212,20 @@ mod tests {
         });
         assert!(op.config.adc_bits >= 4);
         assert!(op.rationale.contains("interferer"));
+    }
+
+    #[test]
+    fn trade_curve_into_matches_trade_curve_and_reuses_buffer() {
+        let a = adapter();
+        let snrs = [0.0, 5.0, 10.0, 16.0, 20.0];
+        let fresh = a.trade_curve(&snrs, 10.0);
+        let mut reused = Vec::new();
+        a.trade_curve_into(&snrs, 10.0, &mut reused);
+        assert_eq!(fresh, reused);
+        let cap = reused.capacity();
+        a.trade_curve_into(&snrs[..3], 10.0, &mut reused);
+        assert_eq!(reused.len(), 3);
+        assert_eq!(reused.capacity(), cap, "buffer must be reused, not reallocated");
     }
 
     #[test]

@@ -92,6 +92,48 @@ impl Channel {
     pub fn all() -> impl Iterator<Item = Channel> {
         (0..CHANNEL_COUNT).map(Channel)
     }
+
+    /// Spectral overlap between the occupied bands of `self` and `other`,
+    /// in Hz. Zero whenever the occupied bands are disjoint (all distinct
+    /// channel pairs on this grid — the 528 MHz spacing leaves a 28 MHz
+    /// guard between 500 MHz occupied bands).
+    pub fn overlap_hz(self, other: Channel) -> f64 {
+        let lo = self.low_edge().as_hz().max(other.low_edge().as_hz());
+        let hi = self.high_edge().as_hz().min(other.high_edge().as_hz());
+        (hi - lo).max(0.0)
+    }
+
+    /// Spectral gap between the occupied bands of `self` and `other`, in Hz.
+    /// Zero for the same channel; 28 MHz for adjacent channels on this grid.
+    pub fn gap_hz(self, other: Channel) -> f64 {
+        let lo = self.low_edge().as_hz().max(other.low_edge().as_hz());
+        let hi = self.high_edge().as_hz().min(other.high_edge().as_hz());
+        (lo - hi).max(0.0)
+    }
+
+    /// Fraction of this channel's occupied bandwidth that `other`'s occupied
+    /// band covers: 1.0 for the same channel, 0.0 for any disjoint pair.
+    pub fn overlap_fraction(self, other: Channel) -> f64 {
+        self.overlap_hz(other) / (CHANNEL_BANDWIDTH_MHZ * 1e6)
+    }
+
+    /// Spectral-overlap attenuation in dB when a transmitter on `other`
+    /// leaks into a receiver tuned to `self`, considering occupied-band
+    /// overlap only (front-end selectivity is modeled separately by
+    /// `uwb_rf::ChannelSelectivity`).
+    ///
+    /// Properties (pinned by proptests):
+    /// * symmetric: `a.overlap_attenuation_db(b) == b.overlap_attenuation_db(a)`,
+    /// * co-channel is 0 dB,
+    /// * always ≤ 0 dB; disjoint occupied bands give `-inf`.
+    pub fn overlap_attenuation_db(self, other: Channel) -> f64 {
+        let frac = self.overlap_fraction(other);
+        if frac <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            10.0 * frac.log10()
+        }
+    }
 }
 
 impl std::fmt::Display for Channel {
@@ -177,5 +219,41 @@ mod tests {
     #[test]
     fn ordering() {
         assert!(Channel::new(2).unwrap() < Channel::new(9).unwrap());
+    }
+
+    #[test]
+    fn overlap_same_channel_is_full() {
+        for ch in Channel::all() {
+            assert!((ch.overlap_hz(ch) - 500e6).abs() < 1.0);
+            assert_eq!(ch.overlap_fraction(ch), 1.0);
+            assert_eq!(ch.overlap_attenuation_db(ch), 0.0);
+            assert_eq!(ch.gap_hz(ch), 0.0);
+        }
+    }
+
+    #[test]
+    fn overlap_distinct_channels_is_disjoint() {
+        // 528 MHz spacing, 500 MHz occupied BW: adjacent channels leave a
+        // 28 MHz guard, so occupied bands never overlap.
+        let a = Channel::new(4).unwrap();
+        let b = Channel::new(5).unwrap();
+        assert_eq!(a.overlap_hz(b), 0.0);
+        assert!((a.gap_hz(b) - 28e6).abs() < 1.0);
+        assert_eq!(a.overlap_attenuation_db(b), f64::NEG_INFINITY);
+        // Two apart: 528 + 28 MHz gap.
+        let c = Channel::new(6).unwrap();
+        assert!((a.gap_hz(c) - 556e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn overlap_attenuation_is_symmetric() {
+        for a in Channel::all() {
+            for b in Channel::all() {
+                let ab = a.overlap_attenuation_db(b);
+                let ba = b.overlap_attenuation_db(a);
+                assert!(ab == ba || (ab.is_infinite() && ba.is_infinite()));
+                assert!(ab <= 0.0);
+            }
+        }
     }
 }

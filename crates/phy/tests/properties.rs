@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use uwb_dsp::Complex;
+use uwb_phy::bandplan::{Channel, CHANNEL_COUNT, CHANNEL_SPACING_MHZ};
 use uwb_phy::crc::{crc16_ccitt, crc32_ieee};
 use uwb_phy::fec::{bits_to_bytes, bytes_to_bits, ConvCode};
 use uwb_phy::modulation::Modulation;
@@ -142,5 +143,64 @@ proptest! {
         // Next period repeats exactly.
         let again = Lfsr::msequence(degree).bits(n);
         prop_assert_eq!(bits, again);
+    }
+
+    /// The channel grid tiles the band monotonically: centers ascend by
+    /// exactly one spacing, occupied bands never overlap, and the guard
+    /// between neighbours is the spacing minus the occupied bandwidth
+    /// (528 − 500 = 28 MHz).
+    #[test]
+    fn bandplan_edges_tile_without_overlap(i in 0usize..CHANNEL_COUNT - 1) {
+        let a = Channel::new(i).unwrap();
+        let b = Channel::new(i + 1).unwrap();
+        let spacing = b.center().as_hz() - a.center().as_hz();
+        prop_assert!((spacing - CHANNEL_SPACING_MHZ * 1e6).abs() < 1e-3);
+        prop_assert!(a.low_edge().as_hz() < a.high_edge().as_hz());
+        prop_assert!(a.high_edge().as_hz() < b.low_edge().as_hz(), "occupied bands overlap");
+        prop_assert_eq!(a.overlap_hz(b), 0.0);
+        let guard = b.low_edge().as_hz() - a.high_edge().as_hz();
+        prop_assert!((guard - 28e6).abs() < 1e-3, "guard {}", guard);
+        prop_assert!((a.gap_hz(b) - guard).abs() < 1e-3);
+    }
+
+    /// `nearest` is total over the FCC 3.1–10.6 GHz allocation and
+    /// idempotent: a channel's own center maps back to the same channel,
+    /// and the chosen channel is never beaten by any other.
+    #[test]
+    fn bandplan_nearest_is_total_and_idempotent(f_hz in 3.1e9f64..10.6e9) {
+        let freq = uwb_sim::time::Hertz::new(f_hz);
+        let ch = Channel::nearest(freq);
+        prop_assert!(ch.index() < CHANNEL_COUNT);
+        // Idempotent under re-resolution through the channel's center.
+        prop_assert_eq!(Channel::nearest(ch.center()), ch);
+        // Optimal: no other channel is strictly closer.
+        let d = (ch.center().as_hz() - f_hz).abs();
+        for other in Channel::all() {
+            prop_assert!((other.center().as_hz() - f_hz).abs() >= d - 1e-6);
+        }
+    }
+
+    /// Spectral-overlap attenuation is symmetric, never positive, 0 dB on
+    /// the diagonal, and −inf off it (the 528 MHz grid keeps occupied
+    /// bands disjoint — finite adjacent-channel leakage is the front end's
+    /// job, not the band plan's).
+    #[test]
+    fn bandplan_overlap_attenuation_symmetric_nonpositive(
+        i in 0usize..CHANNEL_COUNT,
+        j in 0usize..CHANNEL_COUNT,
+    ) {
+        let a = Channel::new(i).unwrap();
+        let b = Channel::new(j).unwrap();
+        let ab = a.overlap_attenuation_db(b);
+        let ba = b.overlap_attenuation_db(a);
+        prop_assert_eq!(ab.to_bits(), ba.to_bits(), "asymmetric: {} vs {}", ab, ba);
+        prop_assert!(ab <= 0.0, "attenuation must be ≤ 0 dB: {}", ab);
+        if i == j {
+            prop_assert_eq!(ab, 0.0);
+            prop_assert_eq!(a.gap_hz(b), 0.0);
+        } else {
+            prop_assert_eq!(ab, f64::NEG_INFINITY);
+            prop_assert!(a.gap_hz(b) > 0.0);
+        }
     }
 }

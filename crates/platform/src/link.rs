@@ -215,6 +215,23 @@ fn energy_per_info_bit(slots: &uwb_phy::packet::FrameSlots, payload_len: usize) 
     slot_energy / info_bits
 }
 
+/// The outcome of [`LinkWorker::synthesize_clean_streamed`]: where the
+/// frame starts in the record, and everything needed to apply the victim's
+/// receiver noise *later* (after foreign records have been mixed in)
+/// while staying bit-identical to the single-link streamed path.
+#[derive(Debug, Clone)]
+pub struct CleanSynthesis {
+    /// Known slot-0 start index in the record (for the known-timing BER
+    /// path).
+    pub slot0_start: usize,
+    /// Noise spectral density calibrated to the scenario's Eb/N0 on
+    /// information bits.
+    pub n0: f64,
+    /// The RNG at exactly the state the single-link path starts drawing
+    /// noise samples from.
+    pub awgn_rng: Rand,
+}
+
 /// Per-worker cached state: everything that does not depend on the trial
 /// index is built once per worker thread and reused across trials. The old
 /// runners rebuilt the transmitter/receiver (and, per trial, the spectral
@@ -374,6 +391,11 @@ impl LinkWorker {
     /// batch record for any `block_len`; multipath records agree to
     /// numerical precision (direct-form vs FFT convolution) and modulated
     /// interferers fork their symbol stream (see `uwb_sim::stream`).
+    ///
+    /// Internally this is [`synthesize_clean_streamed`](Self::synthesize_clean_streamed)
+    /// followed by one whole-record AWGN pass — by the chunk-size
+    /// invariance contract of `StreamingAwgn`, bit-identical to the
+    /// formerly interleaved per-block application.
     fn synthesize_streamed(
         &mut self,
         scenario: &LinkScenario,
@@ -381,6 +403,35 @@ impl LinkWorker {
         block_len: usize,
         rng: &mut Rand,
     ) -> usize {
+        let clean = self.synthesize_clean_streamed(scenario, payload_len, block_len, rng);
+        self.apply_awgn_to_record(clean.n0, clean.awgn_rng);
+        if scenario.notch_enabled {
+            self.apply_notch(scenario.config.sample_rate);
+        }
+        clean.slot0_start
+    }
+
+    /// The noiseless front half of a streamed trial: payload → frame →
+    /// multipath channel (→ optional local interferer), accumulated
+    /// block-by-block in the worker's record buffer, but **without** the
+    /// AWGN pass. The network simulator uses this to obtain each
+    /// transmitter's clean at-the-victim waveform, mixes scaled foreign
+    /// records on top, and only then applies the victim's receiver noise —
+    /// which is why the returned [`CleanSynthesis`] carries the calibrated
+    /// `n0` and a clone of the RNG at exactly the state the single-link
+    /// path would start drawing noise from. A link with no coupled
+    /// interferers therefore reproduces the single-link streamed trial
+    /// **bit-for-bit**.
+    ///
+    /// Allocation-free in steady state; the record is available via
+    /// [`clean_record`](Self::clean_record) until the next synthesis call.
+    pub fn synthesize_clean_streamed(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        block_len: usize,
+        rng: &mut Rand,
+    ) -> CleanSynthesis {
         let config = &scenario.config;
         {
             let _t = uwb_obs::span!("tx");
@@ -407,14 +458,14 @@ impl LinkWorker {
             .as_ref()
             .map(|i| StreamingInterferer::new(i, fs.as_hz(), rng));
 
-        // Noise calibrated to Eb/N0 on information bits; the source owns a
-        // clone of the RNG at exactly the state the batch path would start
-        // drawing noise from.
+        // Noise calibrated to Eb/N0 on information bits; the clone captures
+        // the RNG at exactly the state the batch path would start drawing
+        // noise from.
         let n0 = {
             let eb = energy_per_info_bit(&self.burst.slots, self.payload.len());
             eb / uwb_dsp::math::db_to_pow(scenario.ebn0_db)
         };
-        let mut awgn = StreamingAwgn::new(n0, rng.clone());
+        let awgn_rng = rng.clone();
 
         let block_len = block_len.max(1);
         let n = self.burst.samples.len();
@@ -435,16 +486,12 @@ impl LinkWorker {
                 let _t = uwb_obs::span!("interferer");
                 src.process_block(block, scratch);
             }
-            {
-                let _t = uwb_obs::span!("awgn");
-                awgn.process_block(block, scratch);
-            }
             start = end;
         }
 
         // Multipath tail: the channel flushes its carried L-1 samples, which
         // then pass through the downstream stages — the batch path's
-        // interferer/noise also cover the convolution tail.
+        // interferer also covers the convolution tail.
         {
             let _t = uwb_obs::span!("channel");
             self.stream_channel.flush_into(&mut self.samples, scratch);
@@ -455,15 +502,31 @@ impl LinkWorker {
                 let _t = uwb_obs::span!("interferer");
                 src.process_block(tail, scratch);
             }
-            let _t = uwb_obs::span!("awgn");
-            awgn.process_block(tail, scratch);
         }
 
-        if scenario.notch_enabled {
-            self.apply_notch(fs);
+        CleanSynthesis {
+            slot0_start: self.burst.slot0_center - self.tx.pulse().len() / 2,
+            n0,
+            awgn_rng,
         }
+    }
 
-        self.burst.slot0_center - self.tx.pulse().len() / 2
+    /// Applies calibrated receiver noise over the whole assembled record in
+    /// one pass. One `StreamingAwgn` pass over the full record draws
+    /// exactly the sample sequence the per-block interleaved application
+    /// drew (chunk-size invariance), so the result is bit-identical.
+    fn apply_awgn_to_record(&mut self, n0: f64, awgn_rng: Rand) {
+        let _t = uwb_obs::span!("awgn");
+        let mut awgn = StreamingAwgn::new(n0, awgn_rng);
+        awgn.process_block(&mut self.samples, self.rx_state.scratch());
+    }
+
+    /// The clean (or, after [`synthesize_streamed`](Self::synthesize_streamed),
+    /// impaired) record assembled by the most recent synthesis call. The
+    /// network simulator reads every transmitter's clean record through
+    /// this to build per-victim superpositions.
+    pub fn clean_record(&self) -> &[Complex] {
+        &self.samples
     }
 
     /// Shared back half of the BER-only trials: known-timing statistics
@@ -474,8 +537,29 @@ impl LinkWorker {
         slot0_start: usize,
         counter: &mut ErrorCounter,
     ) {
+        // `mem::take` detaches the record so the external-record variant
+        // can borrow it alongside `&mut self`; swap-restore, no allocation.
+        let samples = std::mem::take(&mut self.samples);
+        self.count_errors_in_record(&scenario.config, &samples, slot0_start, counter);
+        self.samples = samples;
+    }
+
+    /// Known-timing BER back half over an *externally supplied* record —
+    /// the network simulator hands each victim receiver its mixed
+    /// (own + interference + noise) superposition rather than the worker's
+    /// private buffer. Returns `true` if the decoded payload was
+    /// error-free this trial (the network layer's per-round packet
+    /// success proxy). Expects the worker to still hold the payload and
+    /// frame produced by the matching synthesis call.
+    pub fn count_errors_in_record(
+        &mut self,
+        config: &Gen2Config,
+        record: &[Complex],
+        slot0_start: usize,
+        counter: &mut ErrorCounter,
+    ) -> bool {
         self.rx.payload_statistics_known_timing_with(
-            &self.samples,
+            record,
             slot0_start,
             self.payload.len(),
             &mut self.rx_state,
@@ -485,7 +569,7 @@ impl LinkWorker {
         if decode_payload_bits_into(
             &self.stats,
             self.payload.len(),
-            &scenario.config,
+            config,
             &mut self.frame_scratch,
             &mut self.bits,
         )
@@ -495,6 +579,9 @@ impl LinkWorker {
             reference_payload_bits_into(&self.payload, &mut self.frame_scratch, &mut self.ref_bits);
             counter.add_bits(&self.ref_bits, &self.bits);
             uwb_obs::hist!("trial_bit_errors", counter.errors - before);
+            counter.errors == before
+        } else {
+            false
         }
     }
 

@@ -10,6 +10,7 @@
 //!   imbalance and DC offset
 //! * [`notch`] — the tunable front-end notch steered by spectral monitoring
 //! * [`agc`] — automatic gain control ahead of the ADCs
+//! * [`selectivity`] — adjacent-channel rejection curve of the cascade
 //! * [`frontend`] — composed [`TxChain`] / [`RxChain`]
 //!
 //! # Example: upconvert a burst to channel 3 and receive it
@@ -42,6 +43,7 @@ pub mod lna;
 pub mod lo;
 pub mod noise;
 pub mod notch;
+pub mod selectivity;
 pub mod stream;
 
 pub use agc::Agc;
@@ -50,4 +52,5 @@ pub use frontend::{RxChain, TxChain};
 pub use lna::Lna;
 pub use lo::LocalOscillator;
 pub use notch::TunableNotch;
+pub use selectivity::ChannelSelectivity;
 pub use stream::{StreamingAgc, StreamingDownconverter, StreamingNotch};

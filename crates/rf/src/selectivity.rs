@@ -1,0 +1,136 @@
+//! Adjacent-channel selectivity of the zero-IF front end.
+//!
+//! The paper's direct-conversion receiver (Fig. 3) tunes its LO to one of 14
+//! sub-band centers; everything outside the ~500 MHz channel bandwidth is
+//! attenuated by the cascade of the pre-select filter, the LNA band response
+//! and the baseband anti-alias filters. For the network simulator we model
+//! that cascade as a single piecewise-linear (in dB, vs. spectral gap)
+//! rejection curve keyed on the gap between the *occupied bands* of the
+//! victim receiver and the interfering transmitter.
+//!
+//! The model is deliberately frequency-plan agnostic — it takes a gap in Hz
+//! rather than a channel index — so `uwb-rf` stays independent of
+//! `uwb_phy::bandplan`. The network layer combines this curve with
+//! `Channel::gap_hz` / `Channel::overlap_attenuation_db`.
+
+/// Piecewise-linear adjacent-channel rejection curve of the front end.
+///
+/// * Overlapping occupied bands (`gap == 0`): 0 dB rejection — the in-band
+///   spectral-overlap attenuation is accounted for separately.
+/// * Any positive gap: at least [`adjacent_rejection_db`](Self::adjacent_rejection_db)
+///   of rejection, growing by [`rolloff_db_per_ghz`](Self::rolloff_db_per_ghz)
+///   per GHz of additional gap beyond the grid's nominal adjacent-channel
+///   guard band.
+/// * Below [`floor_db`](Self::floor_db) the leakage is treated as
+///   unresolvable against thermal noise and [`rejection_db`](Self::rejection_db)
+///   returns `None`, letting the network simulator drop the coupling term
+///   entirely (this is what makes far-channel links *bit-identical* to
+///   isolated links, not merely close).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelSelectivity {
+    /// Rejection at the nominal adjacent-channel gap, in dB (negative).
+    pub adjacent_rejection_db: f64,
+    /// Additional rejection per GHz of gap beyond the nominal adjacent gap,
+    /// in dB/GHz (negative).
+    pub rolloff_db_per_ghz: f64,
+    /// Rejection floor, in dB (negative): anything at or below this is
+    /// reported as `None` (perfectly rejected for simulation purposes).
+    pub floor_db: f64,
+    /// The gap at which `adjacent_rejection_db` applies, in Hz. On the
+    /// 528 MHz grid with 500 MHz occupied bandwidth this is 28 MHz.
+    pub adjacent_gap_hz: f64,
+}
+
+impl ChannelSelectivity {
+    /// Selectivity of the gen2 front end: −30 dB at the adjacent-channel
+    /// 28 MHz guard, −30 dB/GHz of additional roll-off, −60 dB floor. On
+    /// the 14-channel grid that yields roughly −30 dB (adjacent), −46 dB
+    /// (two channels away) and perfect rejection three or more channels
+    /// away (gap ≥ 1.084 GHz ⇒ below the floor).
+    pub fn gen2() -> ChannelSelectivity {
+        ChannelSelectivity {
+            adjacent_rejection_db: -30.0,
+            rolloff_db_per_ghz: -30.0,
+            floor_db: -60.0,
+            adjacent_gap_hz: 28e6,
+        }
+    }
+
+    /// An ideal brick-wall front end: any positive gap is perfectly
+    /// rejected. Useful for isolating co-channel effects in tests.
+    pub fn brick_wall() -> ChannelSelectivity {
+        ChannelSelectivity {
+            adjacent_rejection_db: f64::NEG_INFINITY,
+            rolloff_db_per_ghz: 0.0,
+            floor_db: -1.0,
+            adjacent_gap_hz: 0.0,
+        }
+    }
+
+    /// Front-end rejection for an interferer whose occupied band is
+    /// `gap_hz` away from the victim's occupied band.
+    ///
+    /// Returns `Some(rejection_db)` (≤ 0) while the leakage is above the
+    /// floor, `None` once it falls at or below [`floor_db`](Self::floor_db).
+    /// A gap of zero (overlapping bands) is in-band: `Some(0.0)`.
+    pub fn rejection_db(&self, gap_hz: f64) -> Option<f64> {
+        if gap_hz <= 0.0 {
+            return Some(0.0);
+        }
+        let extra_ghz = ((gap_hz - self.adjacent_gap_hz) / 1e9).max(0.0);
+        let rej = self.adjacent_rejection_db + self.rolloff_db_per_ghz * extra_ghz;
+        if rej <= self.floor_db {
+            None
+        } else {
+            Some(rej)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_band_is_zero() {
+        let sel = ChannelSelectivity::gen2();
+        assert_eq!(sel.rejection_db(0.0), Some(0.0));
+        assert_eq!(sel.rejection_db(-5.0), Some(0.0));
+    }
+
+    #[test]
+    fn adjacent_gap_hits_nominal_rejection() {
+        let sel = ChannelSelectivity::gen2();
+        assert_eq!(sel.rejection_db(28e6), Some(-30.0));
+    }
+
+    #[test]
+    fn grid_rolloff() {
+        let sel = ChannelSelectivity::gen2();
+        // Two channels away on the 528 MHz grid: gap = 556 MHz.
+        let two = sel.rejection_db(556e6).unwrap();
+        assert!((two - (-45.84)).abs() < 0.01, "{two}");
+        // Three channels away: gap = 1.084 GHz → below −60 dB floor.
+        assert_eq!(sel.rejection_db(1.084e9), None);
+    }
+
+    #[test]
+    fn monotone_nonincreasing_in_gap() {
+        let sel = ChannelSelectivity::gen2();
+        let mut last = 0.0;
+        let mut gap = 0.0;
+        while let Some(r) = sel.rejection_db(gap) {
+            assert!(r <= last + 1e-12, "gap {gap}: {r} > {last}");
+            last = r;
+            gap += 37e6;
+        }
+    }
+
+    #[test]
+    fn brick_wall_rejects_everything_off_channel() {
+        let sel = ChannelSelectivity::brick_wall();
+        assert_eq!(sel.rejection_db(0.0), Some(0.0));
+        assert_eq!(sel.rejection_db(1.0), None);
+        assert_eq!(sel.rejection_db(28e6), None);
+    }
+}

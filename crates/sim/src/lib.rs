@@ -16,6 +16,7 @@
 //!   antenna of paper Fig. 2
 //! * [`pathloss`] — free-space/log-distance loss and the FCC −41.3 dBm/MHz
 //!   link budget
+//! * [`topology`] — piconet floor-plan geometry and pairwise path gains
 //!
 //! # Example: one CM3 channel realization
 //!
@@ -39,6 +40,7 @@ pub mod rng;
 pub mod stream;
 pub mod sv_channel;
 pub mod time;
+pub mod topology;
 
 pub use antenna::Antenna;
 pub use interference::{Interferer, InterfererKind};
@@ -48,3 +50,4 @@ pub use rng::{derive_trial_seed, Rand};
 pub use stream::{StreamingAwgn, StreamingChannel, StreamingInterferer};
 pub use sv_channel::{ChannelModel, ChannelRealization, SvParams, Tap};
 pub use time::{Hertz, Picoseconds, SampleRate};
+pub use topology::{LinkGeometry, Position, Topology};

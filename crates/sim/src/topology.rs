@@ -1,0 +1,212 @@
+//! Piconet geometry: node positions and pairwise path gains.
+//!
+//! The network simulator places transmitter/receiver pairs on a floor plan
+//! and needs, for every (victim receiver, foreign transmitter) pair, the
+//! *relative* path gain of the interfering path against the victim's own
+//! signal path. This module provides the geometry and the pairwise loss
+//! table; spectral (channel-separation) attenuation is layered on top by
+//! the network crate.
+
+use crate::pathloss::log_distance_path_loss_db;
+use crate::time::Hertz;
+
+/// A node position on the floor plan, in metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Position {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64) -> Position {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance_m(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// One transmitter→receiver pair placed on the floor plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkGeometry {
+    /// Transmitter position.
+    pub tx: Position,
+    /// Receiver position.
+    pub rx: Position,
+}
+
+impl LinkGeometry {
+    /// Creates a link between `tx` and `rx`.
+    pub fn new(tx: Position, rx: Position) -> LinkGeometry {
+        LinkGeometry { tx, rx }
+    }
+
+    /// Own-link distance, in metres.
+    pub fn distance_m(&self) -> f64 {
+        self.tx.distance_m(&self.rx)
+    }
+}
+
+/// The full floor plan: a set of links plus the propagation exponent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// The links, indexed by link id.
+    pub links: Vec<LinkGeometry>,
+    /// Log-distance path-loss exponent (1.7 LOS … 3.5 NLOS indoor).
+    pub path_loss_exponent: f64,
+    /// Minimum separation clamp (m) applied to every distance to keep the
+    /// far-field path-loss model out of its near-field singularity.
+    pub min_distance_m: f64,
+}
+
+impl Topology {
+    /// Creates a topology from explicit link geometries with the default
+    /// indoor-LOS-ish exponent of 2.0 and a 0.1 m near-field clamp.
+    pub fn new(links: Vec<LinkGeometry>) -> Topology {
+        Topology {
+            links,
+            path_loss_exponent: 2.0,
+            min_distance_m: 0.1,
+        }
+    }
+
+    /// A deterministic ring layout: `n` links whose transmitters sit on a
+    /// circle of radius `ring_radius_m` and whose receivers sit
+    /// `link_distance_m` radially outward from their transmitter. Adjacent
+    /// pairs are therefore geometric neighbours — a worst-ish case for
+    /// co-channel interference without any randomness.
+    pub fn ring(n: usize, ring_radius_m: f64, link_distance_m: f64) -> Topology {
+        let links = (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * i as f64 / n.max(1) as f64;
+                let (s, c) = theta.sin_cos();
+                let tx = Position::new(ring_radius_m * c, ring_radius_m * s);
+                let rx = Position::new(
+                    (ring_radius_m + link_distance_m) * c,
+                    (ring_radius_m + link_distance_m) * s,
+                );
+                LinkGeometry::new(tx, rx)
+            })
+            .collect();
+        Topology::new(links)
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` if the topology has no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Distance (m) from link `tx_link`'s transmitter to link `rx_link`'s
+    /// receiver, clamped to `min_distance_m`.
+    pub fn distance_m(&self, tx_link: usize, rx_link: usize) -> f64 {
+        self.links[tx_link]
+            .tx
+            .distance_m(&self.links[rx_link].rx)
+            .max(self.min_distance_m)
+    }
+
+    /// Path loss (dB) from link `tx_link`'s transmitter to link `rx_link`'s
+    /// receiver at carrier frequency `f`.
+    pub fn path_loss_db(&self, tx_link: usize, rx_link: usize, f: Hertz) -> f64 {
+        log_distance_path_loss_db(self.distance_m(tx_link, rx_link), f, self.path_loss_exponent)
+    }
+
+    /// Relative gain (dB, usually ≤ 0) of the interfering path from link
+    /// `tx_link`'s transmitter into link `rx_link`'s receiver, *referenced
+    /// to the victim's own signal path*:
+    ///
+    /// `rel = PL(own tx → own rx) − PL(foreign tx → own rx)`
+    ///
+    /// evaluated at the victim's carrier `f` (path loss varies slowly over a
+    /// channel separation compared to the selectivity terms layered on top).
+    /// A foreign transmitter closer to the victim receiver than the victim's
+    /// own transmitter yields a *positive* relative gain — the near–far
+    /// problem of multi-user impulse radio.
+    pub fn relative_gain_db(&self, tx_link: usize, rx_link: usize, f: Hertz) -> f64 {
+        self.path_loss_db(rx_link, rx_link, f) - self.path_loss_db(tx_link, rx_link, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance_m(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_m(&a), 0.0);
+    }
+
+    #[test]
+    fn ring_layout_geometry() {
+        let topo = Topology::ring(8, 4.0, 1.0);
+        assert_eq!(topo.len(), 8);
+        for link in &topo.links {
+            assert!((link.distance_m() - 1.0).abs() < 1e-9);
+        }
+        // Own-link distance equals diag of the pair table.
+        for i in 0..8 {
+            assert!((topo.distance_m(i, i) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn own_path_relative_gain_is_zero() {
+        let topo = Topology::ring(4, 3.0, 1.0);
+        let f = Hertz::from_ghz(3.432);
+        for i in 0..4 {
+            assert!((topo.relative_gain_db(i, i, f)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn farther_interferer_is_weaker() {
+        let topo = Topology::ring(8, 4.0, 1.0);
+        let f = Hertz::from_ghz(3.432);
+        // Neighbour TX (1 step around the ring) is closer to RX 0 than the
+        // TX 4 on the opposite side, so its relative gain is higher.
+        let near = topo.relative_gain_db(1, 0, f);
+        let far = topo.relative_gain_db(4, 0, f);
+        assert!(near > far, "{near} vs {far}");
+        // Both interferers are farther from rx0 than its own 1 m tx.
+        assert!(near < 0.0);
+    }
+
+    #[test]
+    fn near_far_problem_visible() {
+        // Foreign TX right next to the victim RX → positive relative gain.
+        let links = vec![
+            LinkGeometry::new(Position::new(0.0, 0.0), Position::new(5.0, 0.0)),
+            LinkGeometry::new(Position::new(5.2, 0.0), Position::new(9.0, 0.0)),
+        ];
+        let topo = Topology::new(links);
+        let f = Hertz::from_ghz(5.016);
+        assert!(topo.relative_gain_db(1, 0, f) > 0.0);
+    }
+
+    #[test]
+    fn min_distance_clamp() {
+        let links = vec![
+            LinkGeometry::new(Position::new(0.0, 0.0), Position::new(1.0, 0.0)),
+            LinkGeometry::new(Position::new(1.0, 0.0), Position::new(2.0, 0.0)),
+        ];
+        let topo = Topology::new(links);
+        // TX 1 sits exactly on RX 0; the clamp keeps path loss finite.
+        assert_eq!(topo.distance_m(1, 0), 0.1);
+        assert!(topo.path_loss_db(1, 0, Hertz::from_ghz(4.0)).is_finite());
+    }
+}

@@ -1,14 +1,24 @@
 //! Link adaptation walkthrough: the receiver measures the channel and
-//! reconfigures itself (paper §3: trading power, complexity, QoS and rate).
+//! reconfigures itself (paper §3: trading power, complexity, QoS and rate) —
+//! and every chosen operating point is then *verified* by measuring its BER
+//! on the streamed fast path (`run_ber_fast_streamed`), block by block, the
+//! way the real-time platform would.
 //!
 //! Run with: `cargo run --release --example adaptive_link`
 
 use uwb::phy::power::PowerModel;
 use uwb::phy::{ChannelConditions, Gen2Config, LinkAdapter};
+use uwb::platform::link::{run_ber_fast_streamed, LinkScenario};
 use uwb::sim::{ChannelModel, ChannelRealization, Rand};
 
 fn main() {
-    let adapter = LinkAdapter::new(Gen2Config::nominal_100mbps(), PowerModel::cmos180());
+    let adapter = LinkAdapter::new(
+        Gen2Config {
+            preamble_repeats: 2,
+            ..Gen2Config::nominal_100mbps()
+        },
+        PowerModel::cmos180(),
+    );
     let mut rng = Rand::new(77);
 
     // Walk through progressively worse environments; the delay spread comes
@@ -20,6 +30,10 @@ fn main() {
         ("extreme NLOS", ChannelModel::Cm4, 4.0),
     ];
 
+    // Reused across environments: `trade_curve_into` keeps the sweep
+    // allocation-free once warm.
+    let mut curve = Vec::new();
+
     for (name, model, snr_db) in environments {
         let ch = ChannelRealization::generate(model, &mut rng);
         let conditions = ChannelConditions {
@@ -28,7 +42,10 @@ fn main() {
             interferer_present: false,
         };
         let op = adapter.adapt(&conditions);
-        println!("{name} ({model}, {snr_db:.0} dB SNR, {:.1} ns rms):", ch.rms_delay_spread_ns());
+        println!(
+            "{name} ({model}, {snr_db:.0} dB SNR, {:.1} ns rms):",
+            ch.rms_delay_spread_ns()
+        );
         println!(
             "  -> {:.1} Mbps | FEC {} | {} pulses/bit | {} fingers | MLSE {} | {:.1} mW",
             op.bit_rate / 1e6,
@@ -45,7 +62,41 @@ fn main() {
             },
             op.power.total_mw()
         );
-        println!("  policy: {}\n", op.rationale);
+        println!("  policy: {}", op.rationale);
+
+        // How the choice moves around the operating point: the rate/power
+        // trade curve ±4 dB about the measured SNR.
+        adapter.trade_curve_into(
+            &[snr_db - 4.0, snr_db, snr_db + 4.0],
+            conditions.delay_spread_ns,
+            &mut curve,
+        );
+        let knee: Vec<String> = curve
+            .iter()
+            .zip([snr_db - 4.0, snr_db, snr_db + 4.0])
+            .map(|(p, s)| {
+                format!("{s:.0} dB→{:.0} Mbps/{:.0} mW", p.bit_rate / 1e6, p.power.total_mw())
+            })
+            .collect();
+        println!("  trade curve: {}", knee.join(", "));
+
+        // Verify the adapted configuration on the streamed fast path: the
+        // same block-by-block synthesis the real-time platform runs.
+        let scenario = LinkScenario {
+            config: op.config.clone(),
+            channel: model,
+            ebn0_db: snr_db,
+            interferer: None,
+            notch_enabled: false,
+            seed: 0xADA9 ^ snr_db.to_bits(),
+        };
+        let measured = run_ber_fast_streamed(&scenario, 32, 50, 40_000);
+        println!(
+            "  measured (streamed): BER {:.2e} over {} bits [{}]\n",
+            measured.rate(),
+            measured.total,
+            measured.stop
+        );
     }
 
     // An interferer appears: the ADC floor rises to 4 bits and the notch

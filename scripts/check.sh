@@ -22,8 +22,16 @@
 #                             STREAM_MAX_OVERHEAD percent (default 5) of
 #                             batch throughput and its counters must match
 #                             bit-for-bit
+#   scripts/check.sh net      network gate: builds uwb-net, runs its unit +
+#                             acceptance tests (isolation bit-parity,
+#                             co-channel contention, thread determinism),
+#                             the allocation gate (covers the warm 2-link
+#                             network round), then netbench against the
+#                             committed BENCH_net.json baseline; fails if
+#                             any gated metric regresses by more than
+#                             BENCH_TOL percent (default 15)
 #   scripts/check.sh all      tier-1, then the whole workspace's tests, then
-#                             smoke, then obs, then stream
+#                             smoke, then obs, then stream, then net
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -77,6 +85,18 @@ stream() {
         --check BENCH_stream.json --tol "$tol" --max-overhead "$max_overhead"
 }
 
+net() {
+    local tol="${BENCH_TOL:-15}"
+    echo "== net: uwb-net unit + acceptance tests =="
+    cargo build -q -p uwb-net
+    cargo test -q -p uwb-net
+    echo "== net: zero-allocation warm network round =="
+    cargo test -q --release --test alloc_regression
+    echo "== net: netbench vs committed BENCH_net.json (tol ${tol}%) =="
+    cargo build --release -p uwb-bench --bin netbench
+    UWB_THREADS=1 ./target/release/netbench --check BENCH_net.json --tol "$tol"
+}
+
 case "$mode" in
 tier1)
     tier1
@@ -93,6 +113,9 @@ obs)
 stream)
     stream
     ;;
+net)
+    net
+    ;;
 all)
     tier1
     echo "== workspace: cargo test -q --workspace =="
@@ -100,9 +123,10 @@ all)
     smoke
     obs
     stream
+    net
     ;;
 *)
-    echo "usage: scripts/check.sh [tier1|smoke|bench|obs|stream|all]" >&2
+    echo "usage: scripts/check.sh [tier1|smoke|bench|obs|stream|net|all]" >&2
     exit 2
     ;;
 esac

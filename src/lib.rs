@@ -56,3 +56,9 @@ pub mod gen1 {
 pub mod platform {
     pub use uwb_platform::*;
 }
+
+/// Deterministic multi-user piconet simulation across the 14-channel band
+/// plan.
+pub mod net {
+    pub use uwb_net::*;
+}

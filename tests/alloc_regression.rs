@@ -14,6 +14,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use uwb_net::{plan_network, NetAccumulator, NetScenario, NetWorker};
 use uwb_phy::Gen2Config;
 use uwb_platform::link::{LinkScenario, LinkWorker};
 use uwb_platform::ErrorCounter;
@@ -141,5 +142,44 @@ fn gen2_fast_path_steady_state_is_allocation_free() {
          across 200 trials at block {})",
         after - before,
         BLOCK
+    );
+
+    // --- Network warm path: a 2-link co-channel piconet round must also
+    //     be allocation-free. Each round runs two full clean syntheses,
+    //     two superposition mixes (own + coupled foreign + AWGN), and two
+    //     receptions — all out of `NetWorker`'s reused storage. ---
+    let mut net_scenario = NetScenario::ring(2, 6.0, 20050314);
+    net_scenario.policy = uwb_net::ChannelPolicy::Static(vec![
+        uwb_phy::bandplan::Channel::new(3).unwrap(),
+    ]);
+    let plan = plan_network(&net_scenario);
+    assert!(
+        plan.coupling.iter().all(|row| !row.is_empty()),
+        "the 2-link gate must exercise real co-channel mixing"
+    );
+    let mut net_worker = NetWorker::new(&plan);
+    let mut acc = NetAccumulator::default();
+    // Warm-up: sizes the per-link workers, the clean-synthesis table, and
+    // the mix buffer.
+    for r in 0..3 {
+        net_worker.round(&plan, r, &mut acc);
+    }
+
+    let before = thread_allocs();
+    for r in 0..100 {
+        net_worker.round(&plan, r, &mut acc);
+    }
+    let after = thread_allocs();
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state network rounds must not allocate ({} allocations \
+         across 100 two-link rounds)",
+        after - before
+    );
+    assert!(
+        acc.links.iter().all(|l| l.ber.total > 0),
+        "network rounds produced no bits"
     );
 }

@@ -200,6 +200,65 @@ fn telemetry_is_thread_invariant_on_the_real_link() {
 }
 
 #[test]
+fn network_run_is_thread_invariant_including_telemetry() {
+    // The whole-network determinism contract: an 8-user piconet (round-robin
+    // across the band plan, so adjacent-channel coupling is active) produces
+    // bit-identical per-link error counters AND telemetry fingerprints for
+    // 1 vs 8 worker threads. Thread counts are pinned through the engine's
+    // explicit override so this test cannot race other tests on the
+    // `UWB_THREADS` environment variable.
+    let mut sc = uwb_net::NetScenario::ring(8, 7.0, SEED ^ 0xA3);
+    sc.rounds = 12;
+    let plan = uwb_net::plan_network(&sc);
+
+    let serial = uwb_net::run_plan_threads(plan.clone(), 1);
+    let threaded = uwb_net::run_plan_threads(plan, 8);
+
+    for l in 0..sc.len() {
+        assert_eq!(
+            serial.links[l].counter, threaded.links[l].counter,
+            "link {l}'s error counter depends on thread count"
+        );
+        assert_eq!(serial.links[l].packets, threaded.links[l].packets);
+        assert_eq!(serial.links[l].packets_bad, threaded.links[l].packets_bad);
+    }
+    assert_eq!(
+        serial.aggregate_throughput_bps.to_bits(),
+        threaded.aggregate_throughput_bps.to_bits(),
+        "aggregate throughput depends on thread count"
+    );
+    assert_eq!(
+        serial.stats.telemetry.to_json_deterministic(),
+        threaded.stats.telemetry.to_json_deterministic(),
+        "deterministic telemetry view depends on thread count"
+    );
+    assert_eq!(
+        serial.stats.telemetry.fingerprint(),
+        threaded.stats.telemetry.fingerprint(),
+        "network telemetry fingerprint depends on thread count"
+    );
+
+    if uwb_obs::enabled() {
+        let telem = &serial.stats.telemetry;
+        assert!(!telem.is_empty(), "instrumented network run yielded no telemetry");
+        // One scheduling span per round; one mix + one reception per link
+        // per round.
+        let rounds = serial.stats.trials;
+        let n = sc.len() as u64;
+        for (stage, expect) in [
+            ("net_schedule", rounds),
+            ("net_mix", rounds * n),
+            ("net_rx", rounds * n),
+        ] {
+            let st = telem
+                .stage(stage)
+                .unwrap_or_else(|| panic!("stage {stage:?} missing from network telemetry"));
+            assert_eq!(st.calls, expect, "stage {stage:?} call count");
+        }
+    }
+}
+
+#[test]
 fn truncated_run_telemetry_is_thread_invariant() {
     // Truncation emits a deterministic `run_truncated` event on the
     // coordinating thread; overrun chunks beyond the stop boundary are

@@ -54,17 +54,38 @@ impl Quantizer {
     }
 
     /// The LSB step size, `2·FS / 2^bits`.
+    #[inline]
     pub fn step(&self) -> f64 {
         2.0 * self.full_scale / self.levels() as f64
     }
 
     /// Quantizes one sample to the reconstruction level (mid-rise, clipped).
+    #[inline]
     pub fn quantize(&self, x: f64) -> f64 {
         let step = self.step();
         let half_levels = (self.levels() / 2) as f64;
         // Mid-rise: code k covers [k*step, (k+1)*step), reconstruct at center.
         let k = (x / step).floor().clamp(-half_levels, half_levels - 1.0);
         (k + 0.5) * step
+    }
+
+    /// Fused AGC + conversion sweep: quantizes `input[i] * gain` on both
+    /// rails into `out` — the receiver front end's digitize inner loop as
+    /// one branch-free block pass (see [`uwb_dsp::simd`]).
+    ///
+    /// Bit-identical to `quantize(z.re * gain)` / `quantize(z.im * gain)`
+    /// per sample: the kernel keeps the same divide-by-`step` arithmetic
+    /// (locked down by a parity test).
+    pub fn quantize_scaled_into(&self, input: &[Complex], gain: f64, out: &mut Vec<Complex>) {
+        let half_levels = (self.levels() / 2) as f64;
+        uwb_dsp::simd::quantize_scaled_into(
+            input,
+            gain,
+            self.step(),
+            -half_levels,
+            half_levels - 1.0,
+            out,
+        );
     }
 
     /// Quantizes to the integer code in `[-2^(b-1), 2^(b-1) - 1]`.
@@ -188,6 +209,26 @@ mod tests {
         for i in -50..50 {
             let x = i as f64 / 50.0;
             assert!(q.quantize(x).abs() >= q.step() / 2.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantize_scaled_matches_scalar_bitwise() {
+        // The fused sweep must agree bit-for-bit with the per-sample path
+        // for every resolution, including the saturating codes.
+        for bits in [1u32, 4, 5, 12] {
+            let q = Quantizer::new(bits, 1.0);
+            let gain = 0.733;
+            let input: Vec<Complex> = (-300..300)
+                .map(|i| Complex::new(i as f64 / 100.0, (i as f64 * 0.017).sin() * 3.0))
+                .collect();
+            let mut out = Vec::new();
+            q.quantize_scaled_into(&input, gain, &mut out);
+            assert_eq!(out.len(), input.len());
+            for (z, o) in input.iter().zip(&out) {
+                let want = Complex::new(q.quantize(z.re * gain), q.quantize(z.im * gain));
+                assert_eq!(*o, want, "bits={bits} z={z}");
+            }
         }
     }
 

@@ -114,3 +114,27 @@ proptest! {
         prop_assert_eq!(rebuilt, data);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fused AGC-scale + quantize sweep is bitwise identical to scaling
+    /// and quantizing each sample through the scalar path.
+    #[test]
+    fn quantize_scaled_matches_scalar_bitwise(
+        bits in 1u32..12,
+        gain in 0.01f64..10.0,
+        xs in prop::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 0..200),
+    ) {
+        use uwb_dsp::Complex;
+        let q = Quantizer::new(bits, 1.0);
+        let input: Vec<Complex> = xs.into_iter().map(|(re, im)| Complex::new(re, im)).collect();
+        let mut out = Vec::new();
+        q.quantize_scaled_into(&input, gain, &mut out);
+        prop_assert_eq!(out.len(), input.len());
+        for (z, o) in input.iter().zip(&out) {
+            prop_assert_eq!(q.quantize(z.re * gain).to_bits(), o.re.to_bits());
+            prop_assert_eq!(q.quantize(z.im * gain).to_bits(), o.im.to_bits());
+        }
+    }
+}

@@ -93,6 +93,48 @@ fn run_kernels() -> Vec<Kernel> {
         });
     }
 
+    // 2b. 4096-point forward f32 SoA FFT (the `fast-acq` acquisition
+    //     correlator shape) through its thread-local plan cache.
+    {
+        let plan = uwb_dsp::fft32::cached_plan32(4096);
+        let mut rng = Rand::new(21);
+        let mut re: Vec<f32> = (0..4096).map(|_| rng.uniform_in(-1.0, 1.0) as f32).collect();
+        let mut im: Vec<f32> = (0..4096).map(|_| rng.uniform_in(-1.0, 1.0) as f32).collect();
+        out.push(Kernel {
+            name: "fft32_4096_planned_fwd",
+            us_per_call: time_us(100, 15, || {
+                plan.forward_in_place(&mut re, &mut im);
+            }),
+        });
+    }
+
+    // 2c. Block Gaussian generation at the AWGN per-trial shape (4096
+    //     draws ≈ one complex noise burst over a short record).
+    {
+        let mut rng = Rand::new(22);
+        let mut buf = vec![0.0f64; 4096];
+        out.push(Kernel {
+            name: "fill_gaussian_4096",
+            us_per_call: time_us(200, 15, || {
+                rng.fill_gaussian(&mut buf);
+            }),
+        });
+    }
+
+    // 2d. Fused AGC scale + ADC quantization at the digitizer shape
+    //     (2560 samples through a 5-bit converter).
+    {
+        let q = uwb_adc::Quantizer::new(5, 1.0);
+        let input = noise_complex(2560, 23);
+        let mut out_buf = Vec::new();
+        out.push(Kernel {
+            name: "quantize_scaled_2560x5b",
+            us_per_call: time_us(200, 15, || {
+                q.quantize_scaled_into(&input, 1.7, &mut out_buf);
+            }),
+        });
+    }
+
     // 3. Packed real convolution (pulse shaping / template construction
     //    shape): 2000-sample record against a 257-tap pulse.
     {

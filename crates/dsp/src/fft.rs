@@ -50,6 +50,14 @@ pub fn fft_plans_built() -> u64 {
     PLANS_BUILT.load(Ordering::Relaxed)
 }
 
+/// Records a plan construction in the shared counters (used by the f32
+/// acquisition FFT in [`crate::fft32`] so the plan-cache regression tests
+/// cover both precisions).
+pub(crate) fn note_plan_built() {
+    PLANS_BUILT.fetch_add(1, Ordering::Relaxed);
+    uwb_obs::counter!("fft_plans_built").inc();
+}
+
 /// Planned FFT of a fixed power-of-two size.
 ///
 /// Construction precomputes the bit-reversal permutation and twiddle factors;
@@ -127,16 +135,21 @@ impl Fft {
         let mut len = 2usize;
         while len <= n {
             let stride = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..len / 2 {
-                    let mut w = self.twiddles[k * stride];
-                    if invert {
-                        w = w.conj();
-                    }
+            let half = len / 2;
+            // k outermost so the twiddle load + conditional conjugate are
+            // hoisted out of the hot loop. Butterflies within a stage touch
+            // disjoint index pairs and each output is the same arithmetic
+            // expression as before, so this reordering is bit-identical.
+            for k in 0..half {
+                let mut w = self.twiddles[k * stride];
+                if invert {
+                    w = w.conj();
+                }
+                for start in (0..n).step_by(len) {
                     let u = a[start + k];
-                    let v = a[start + k + len / 2] * w;
+                    let v = a[start + k + half] * w;
                     a[start + k] = u + v;
-                    a[start + k + len / 2] = u - v;
+                    a[start + k + half] = u - v;
                 }
             }
             len <<= 1;

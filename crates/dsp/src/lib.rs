@@ -44,6 +44,7 @@
 pub mod complex;
 pub mod correlation;
 pub mod fft;
+pub mod fft32;
 pub mod scratch;
 pub mod goertzel;
 pub mod fir;
@@ -52,6 +53,7 @@ pub mod math;
 pub mod nco;
 pub mod psd;
 pub mod resample;
+pub mod simd;
 pub mod stream;
 pub mod window;
 

@@ -25,7 +25,7 @@ impl Psd {
     /// Returns `(freqs, values)` sorted by ascending frequency.
     pub fn sorted(&self) -> (Vec<f64>, Vec<f64>) {
         let mut idx: Vec<usize> = (0..self.freqs.len()).collect();
-        idx.sort_by(|&a, &b| self.freqs[a].partial_cmp(&self.freqs[b]).unwrap());
+        idx.sort_by(|&a, &b| self.freqs[a].total_cmp(&self.freqs[b]));
         (
             idx.iter().map(|&i| self.freqs[i]).collect(),
             idx.iter().map(|&i| self.values[i]).collect(),

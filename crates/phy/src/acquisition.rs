@@ -114,18 +114,26 @@ impl CoarseAcquisition {
             .iter()
             .map(|z| z.norm_sqr())
             .sum();
+        // Scan in squared-metric space: one divide per phase and no sqrt
+        // (squaring is monotone on nonnegative reals, so the argmax is the
+        // one the per-phase-sqrt form picks); take the two square roots once
+        // at the winning phase.
         let mut best_idx = 0usize;
-        let mut best_metric = 0.0f64;
+        let mut best_metric_sq = 0.0f64;
         let mut win_energy: f64 = signal
             .iter()
             .take(m.min(signal.len()))
             .map(|z| z.norm_sqr())
             .sum();
         for (p, z) in outputs.iter().enumerate() {
-            let denom = (win_energy * tpl_energy).sqrt();
-            let metric = if denom > 0.0 { z.norm() / denom } else { 0.0 };
-            if metric > best_metric {
-                best_metric = metric;
+            let denom_sq = win_energy * tpl_energy;
+            let metric_sq = if denom_sq > 0.0 {
+                z.norm_sqr() / denom_sq
+            } else {
+                0.0
+            };
+            if metric_sq > best_metric_sq {
+                best_metric_sq = metric_sq;
                 best_idx = p;
             }
             if p + m < signal.len() {
@@ -134,6 +142,7 @@ impl CoarseAcquisition {
             }
         }
         scratch.put_complex(outputs);
+        let best_metric = best_metric_sq.sqrt();
         AcquisitionResult {
             detected: best_metric >= self.config.threshold,
             offset: best_idx,

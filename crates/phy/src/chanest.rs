@@ -69,8 +69,7 @@ impl ChannelEstimate {
         idx.sort_unstable_by(|&a, &b| {
             self.taps[b]
                 .norm_sqr()
-                .partial_cmp(&self.taps[a].norm_sqr())
-                .unwrap()
+                .total_cmp(&self.taps[a].norm_sqr())
                 .then(a.cmp(&b))
         });
         idx.truncate(n);
@@ -207,27 +206,20 @@ pub fn estimate_cir_into(
             break;
         }
         used_periods += 1;
+        // The break above guarantees base + d + j <= base + (window-1) +
+        // (len-1) <= signal.len() - 1 for every delay/sample pair, so each
+        // delay's window is a plain in-bounds slice — no per-sample bounds
+        // test in the inner loop.
         for (d, tap) in taps.iter_mut().enumerate() {
+            let win = &signal[base + d..base + d + template.len()];
             let acc = if real_template {
-                // s · conj(t) with t purely real: 2 real MACs per sample.
-                let mut re = 0.0;
-                let mut im = 0.0;
-                for (j, &t) in template.iter().enumerate() {
-                    let idx = base + d + j;
-                    if idx < signal.len() {
-                        let s = signal[idx];
-                        re += s.re * t.re;
-                        im += s.im * t.re;
-                    }
-                }
-                Complex::new(re, im)
+                // s · conj(t) with t purely real: 2 real MACs per sample,
+                // lane-split so the reduction autovectorizes.
+                uwb_dsp::simd::dot_real_template(win, template)
             } else {
                 let mut acc = Complex::ZERO;
-                for (j, &t) in template.iter().enumerate() {
-                    let idx = base + d + j;
-                    if idx < signal.len() {
-                        acc += signal[idx] * t.conj();
-                    }
+                for (&s, &t) in win.iter().zip(template) {
+                    acc += s * t.conj();
                 }
                 acc
             };

@@ -153,7 +153,7 @@ impl MlseEqualizer {
 
         // Traceback starts from the best final state.
         let best = (0..n_states)
-            .min_by(|&a, &b| metric[a].partial_cmp(&metric[b]).unwrap())
+            .min_by(|&a, &b| metric[a].total_cmp(&metric[b]))
             .unwrap_or(0);
         (decisions, best)
     }

@@ -428,7 +428,11 @@ pub fn decode_payload(
     let mut scrambler = Scrambler::default();
     scrambler.apply_bytes(&mut body);
     let payload = body[..payload_len].to_vec();
-    let fcs = u32::from_be_bytes(body[payload_len..payload_len + 4].try_into().unwrap());
+    let fcs = u32::from_be_bytes(
+        body[payload_len..payload_len + 4]
+            .try_into()
+            .expect("FCS slice is exactly 4 bytes"),
+    );
     if crc32_ieee(&payload) != fcs {
         return Err(PhyError::CrcMismatch);
     }

@@ -55,7 +55,7 @@ impl SpectralMonitor {
 
         // Median floor.
         let mut sorted_vals = vals.clone();
-        sorted_vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted_vals.sort_by(f64::total_cmp);
         let median = sorted_vals[n / 2].max(1e-300);
 
         // Peak and parabolic refinement.
@@ -147,7 +147,7 @@ impl GoertzelMonitor {
         let (freq, power) = scan
             .iter()
             .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty suspect list");
         // Interferer-to-background: bin power vs everything else in the block.
         let background = (total_power - power).max(total_power * 1e-6);

@@ -376,6 +376,7 @@ impl StreamRx {
         let b = end - self.base;
         let _t = uwb_obs::span!("rx_agc_adc");
         self.rx.digitize_into(&self.buf[a..b], &mut self.state.digitized);
+        self.state.chanest_memo = None;
     }
 
     /// Decode failure after a successful acquisition: advance past the

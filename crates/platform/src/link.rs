@@ -657,8 +657,14 @@ impl LinkWorker {
         }
 
         // --- Packet path: full acquisition. ---
+        // The BER path above just digitized this very record into
+        // `rx_state.digitized`; re-digitizing would reproduce it
+        // bit-for-bit, so start from the digitized record directly. When
+        // acquisition locks at the true frame start, the channel-estimate
+        // memo also skips the duplicate chanest pass (bit-exact, see
+        // `RxState::chanest_memo`).
         outcome.packets += 1;
-        match self.rx.receive_packet_with(&self.samples, &mut self.rx_state) {
+        match self.rx.receive_packet_predigitized(&mut self.rx_state) {
             Ok(pkt) if pkt.payload == self.payload => outcome.packets_ok += 1,
             Ok(_) => {}
             Err(PhyError::SyncFailed) => outcome.sync_failures += 1,

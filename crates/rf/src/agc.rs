@@ -7,8 +7,7 @@
 //! to avoid clipping the interferer and the wanted signal drops below one
 //! LSB.
 
-use uwb_dsp::complex::mean_power;
-use uwb_dsp::Complex;
+use uwb_dsp::{simd, Complex};
 
 /// Feed-forward block AGC: measures power over a block and applies one gain.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,14 +78,16 @@ impl Agc {
 
     /// [`Agc::process`] mutating the signal in place (allocation-free) —
     /// the form the streaming chain and the per-trial workers use.
+    ///
+    /// Runs as two flat sweeps (a lane-split `|z|²` reduction, then a
+    /// branch-free scale pass) that autovectorize; the reduction's fixed
+    /// lane order is deterministic on every target (see [`uwb_dsp::simd`]).
     pub fn process_in_place(&mut self, signal: &mut [Complex]) {
-        let p = mean_power(signal);
+        let p = simd::mean_power(signal);
         if p > 0.0 {
             self.gain = (self.target_rms / p.sqrt()).clamp(self.min_gain, self.max_gain);
         }
-        for z in signal.iter_mut() {
-            *z = *z * self.gain;
-        }
+        simd::scale_in_place(signal, self.gain);
     }
 
     /// Variant that sets gain from peak amplitude rather than RMS — this is
@@ -103,14 +104,26 @@ impl Agc {
 
     /// [`Agc::process_peak_referenced`] mutating the signal in place
     /// (allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `full_scale` is positive and finite — the same
+    /// validation [`Agc::new`] enforces for its limits. (Without the guard
+    /// a zero, negative, or NaN full scale would put a NaN gain through
+    /// `clamp`, which propagates NaN, and silently corrupt the block.)
     pub fn process_peak_referenced_in_place(&mut self, signal: &mut [Complex], full_scale: f64) {
-        let peak = signal.iter().fold(0.0f64, |m, z| m.max(z.norm()));
-        if peak > 0.0 {
-            self.gain = (full_scale / peak).clamp(self.min_gain, self.max_gain);
+        assert!(
+            full_scale > 0.0 && full_scale.is_finite(),
+            "full scale must be positive and finite, got {full_scale}"
+        );
+        // max(|z|²) then one sqrt: sqrt is monotone and correctly rounded,
+        // so this is bit-identical to folding max over |z| — and the
+        // sqrt-free reduction autovectorizes.
+        let peak_sq = signal.iter().fold(0.0f64, |m, z| m.max(z.norm_sqr()));
+        if peak_sq > 0.0 {
+            self.gain = (full_scale / peak_sq.sqrt()).clamp(self.min_gain, self.max_gain);
         }
-        for z in signal.iter_mut() {
-            *z = *z * self.gain;
-        }
+        simd::scale_in_place(signal, self.gain);
     }
 }
 
@@ -125,7 +138,7 @@ mod tests {
         let mut rng = Rand::new(1);
         let sig = uwb_sim::awgn::complex_noise(10_000, 25.0, &mut rng); // RMS 5
         let out = agc.process(&sig);
-        let rms_out = mean_power(&out).sqrt();
+        let rms_out = uwb_dsp::complex::mean_power(&out).sqrt();
         assert!((rms_out - 0.5).abs() < 0.02, "{rms_out}");
     }
 
@@ -190,5 +203,19 @@ mod tests {
     #[should_panic(expected = "min_gain")]
     fn bad_limits_panic() {
         Agc::new(1.0, 2.0, 1.0);
+    }
+
+    #[test]
+    fn peak_referenced_rejects_bad_full_scale() {
+        // A zero/negative/non-finite full scale used to put a NaN gain
+        // through clamp and silently corrupt the block.
+        for fs in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let caught = std::panic::catch_unwind(|| {
+                let mut agc = Agc::for_unit_adc();
+                let mut sig = vec![Complex::ONE; 4];
+                agc.process_peak_referenced_in_place(&mut sig, fs);
+            });
+            assert!(caught.is_err(), "full_scale {fs} must be rejected");
+        }
     }
 }

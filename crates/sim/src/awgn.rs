@@ -4,49 +4,94 @@ use crate::rng::Rand;
 use uwb_dsp::complex::{mean_power, mean_power_real};
 use uwb_dsp::Complex;
 
+/// Stack-buffer quantum for the chunked noise loops: 256 gaussians = 128
+/// complex samples per refill, matching `GAUSS_BATCH` so each chunk maps to
+/// one carry-buffer drain. The chunking is unobservable — the block stream
+/// is chunk-size invariant (see [`Rand::fill_gaussian`]).
+const NOISE_CHUNK: usize = 256;
+
+/// Validates `noise_power`: negative power is a sign error in the caller
+/// (e.g. a mis-signed SNR sweep), which would otherwise silently run
+/// *noiseless* and report perfect BER. Debug builds panic; release builds
+/// keep the documented clamp-to-zero behaviour.
+#[inline]
+fn checked_noise_power(noise_power: f64) -> f64 {
+    debug_assert!(
+        noise_power >= 0.0,
+        "negative noise_power ({noise_power}): a mis-signed SNR runs noiseless"
+    );
+    noise_power.max(0.0)
+}
+
 /// Adds real AWGN of the given power (variance) to a signal.
+///
+/// Negative `noise_power` is a caller bug: it panics in debug builds and
+/// clamps to zero (noiseless) in release builds.
 pub fn add_awgn_real(signal: &[f64], noise_power: f64, rng: &mut Rand) -> Vec<f64> {
-    let sigma = noise_power.max(0.0).sqrt();
-    signal
-        .iter()
-        .map(|&x| x + sigma * rng.gaussian())
-        .collect()
+    let sigma = checked_noise_power(noise_power).sqrt();
+    let mut out = signal.to_vec();
+    let mut buf = [0.0f64; NOISE_CHUNK];
+    for chunk in out.chunks_mut(NOISE_CHUNK) {
+        rng.fill_gaussian(&mut buf[..chunk.len()]);
+        for (x, g) in chunk.iter_mut().zip(&buf) {
+            *x += sigma * g;
+        }
+    }
+    out
 }
 
 /// Adds circularly-symmetric complex AWGN of total power `noise_power`
 /// (split evenly between I and Q).
+///
+/// Negative `noise_power` is a caller bug: it panics in debug builds and
+/// clamps to zero (noiseless) in release builds.
 pub fn add_awgn_complex(signal: &[Complex], noise_power: f64, rng: &mut Rand) -> Vec<Complex> {
-    let sigma = (noise_power.max(0.0) / 2.0).sqrt();
-    signal
-        .iter()
-        .map(|&z| z + Complex::new(sigma * rng.gaussian(), sigma * rng.gaussian()))
-        .collect()
+    let mut out = signal.to_vec();
+    add_awgn_complex_in_place(&mut out, noise_power, rng);
+    out
 }
 
 /// [`add_awgn_complex`] mutating the signal in place (allocation-free).
 ///
-/// Draw order (I then Q per sample) and arithmetic are identical to the
-/// allocating form, so results and downstream RNG state are bit-identical —
-/// the per-trial form used by the Monte-Carlo workers.
+/// Noise comes from the block stream ([`Rand::fill_gaussian`]) in I-then-Q
+/// order per sample, pulled through a stack chunk buffer; draw order and
+/// arithmetic are identical to the allocating form, so results and
+/// downstream RNG state are bit-identical — the per-trial form used by the
+/// Monte-Carlo workers. Negative `noise_power` panics in debug builds and
+/// clamps to zero in release builds.
 pub fn add_awgn_complex_in_place(signal: &mut [Complex], noise_power: f64, rng: &mut Rand) {
-    let sigma = (noise_power.max(0.0) / 2.0).sqrt();
-    for z in signal.iter_mut() {
-        *z += Complex::new(sigma * rng.gaussian(), sigma * rng.gaussian());
+    let sigma = (checked_noise_power(noise_power) / 2.0).sqrt();
+    let mut buf = [0.0f64; NOISE_CHUNK];
+    for chunk in signal.chunks_mut(NOISE_CHUNK / 2) {
+        rng.fill_gaussian(&mut buf[..2 * chunk.len()]);
+        for (z, g) in chunk.iter_mut().zip(buf.chunks_exact(2)) {
+            *z += Complex::new(sigma * g[0], sigma * g[1]);
+        }
     }
 }
 
 /// Generates `n` samples of complex AWGN with total power `noise_power`.
+///
+/// Negative `noise_power` is a caller bug: it panics in debug builds and
+/// clamps to zero (silence) in release builds.
 pub fn complex_noise(n: usize, noise_power: f64, rng: &mut Rand) -> Vec<Complex> {
-    let sigma = (noise_power.max(0.0) / 2.0).sqrt();
-    (0..n)
-        .map(|_| Complex::new(sigma * rng.gaussian(), sigma * rng.gaussian()))
-        .collect()
+    let mut out = vec![Complex::ZERO; n];
+    add_awgn_complex_in_place(&mut out, noise_power, rng);
+    out
 }
 
 /// Generates `n` samples of real AWGN with power (variance) `noise_power`.
+///
+/// Negative `noise_power` is a caller bug: it panics in debug builds and
+/// clamps to zero (silence) in release builds.
 pub fn real_noise(n: usize, noise_power: f64, rng: &mut Rand) -> Vec<f64> {
-    let sigma = noise_power.max(0.0).sqrt();
-    (0..n).map(|_| sigma * rng.gaussian()).collect()
+    let sigma = checked_noise_power(noise_power).sqrt();
+    let mut out = vec![0.0; n];
+    rng.fill_gaussian(&mut out);
+    for x in &mut out {
+        *x *= sigma;
+    }
+    out
 }
 
 /// Adds complex noise scaled for a target SNR (dB) relative to the measured
@@ -149,6 +194,38 @@ mod tests {
         assert!((noise_power_for_ebn0(1.0, 1.0, 3.0103) - 0.5).abs() < 1e-4);
         // More samples per bit means proportionally more noise per sample.
         assert!((noise_power_for_ebn0(1.0, 8.0, 0.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "negative noise_power")]
+    fn negative_noise_power_panics_in_debug() {
+        // A mis-signed SNR sweep used to clamp silently to zero noise and
+        // report perfect BER; debug builds now catch the sign error.
+        let mut rng = Rand::new(1);
+        let mut sig = vec![Complex::ONE; 4];
+        add_awgn_complex_in_place(&mut sig, -0.1, &mut rng);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn negative_noise_power_clamps_in_release() {
+        // Release builds keep the documented clamp-to-zero behaviour.
+        let mut rng = Rand::new(1);
+        let sig = vec![Complex::ONE; 4];
+        assert_eq!(add_awgn_complex(&sig, -0.1, &mut rng), sig);
+        assert_eq!(real_noise(4, -1.0, &mut rng), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn allocating_forms_share_the_block_stream() {
+        // complex_noise / add_awgn_complex / in_place all consume the same
+        // number of block-stream draws per sample, so they are
+        // interchangeable bitwise at matched seeds.
+        let n = 300; // spans a carry-buffer refill
+        let noise = complex_noise(n, 0.5, &mut Rand::new(9));
+        let from_add = add_awgn_complex(&vec![Complex::ZERO; n], 0.5, &mut Rand::new(9));
+        assert_eq!(noise, from_add);
     }
 
     #[test]

@@ -44,6 +44,19 @@ pub fn derive_trial_seed(master_seed: u64, trial: u64) -> u64 {
     splitmix64_mix(a ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE703_7ED1_A0B4_28DB)
 }
 
+/// Number of parallel xoshiro256++ lanes behind [`Rand::fill_gaussian`].
+///
+/// Eight u64 lanes fill one AVX-512 register; the lane count is part of the
+/// block-Gaussian stream definition and must not change without re-pinning
+/// the downstream fingerprints.
+pub const GAUSS_LANES: usize = 8;
+
+/// Carry-buffer quantum for [`Rand::fill_gaussian`]: gaussians are always
+/// produced in blocks of this many, regardless of how callers partition
+/// their requests — that fixed refill quantum is what makes the block
+/// stream chunk-size invariant.
+pub const GAUSS_BATCH: usize = 256;
+
 /// A seeded random source with Gaussian sampling.
 ///
 /// ```
@@ -52,10 +65,25 @@ pub fn derive_trial_seed(master_seed: u64, trial: u64) -> u64 {
 /// let mut b = Rand::new(42);
 /// assert_eq!(a.gaussian(), b.gaussian()); // same seed, same stream
 /// ```
+///
+/// Two Gaussian streams coexist (see [`Rand::fill_gaussian`]): the scalar
+/// [`Rand::gaussian`] stream drawn from the main xoshiro state, and the
+/// block stream drawn from [`GAUSS_LANES`] independent lanes. They never
+/// consume each other's draws, so interleaving calls is well-defined.
 #[derive(Debug, Clone)]
 pub struct Rand {
     s: [u64; 4],
     spare: Option<f64>,
+    /// SoA lane states for the block generator: `lanes[j][i]` is word `j`
+    /// of lane `i`'s xoshiro256++ state.
+    #[cfg(not(feature = "precise"))]
+    lanes: [[u64; GAUSS_LANES]; 4],
+    /// Carry buffer of already-generated gaussians (`batch[batch_pos..]`
+    /// are still unconsumed).
+    #[cfg(not(feature = "precise"))]
+    batch: [f64; GAUSS_BATCH],
+    #[cfg(not(feature = "precise"))]
+    batch_pos: usize,
 }
 
 impl Rand {
@@ -69,7 +97,29 @@ impl Rand {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rand { s, spare: None }
+        // The block-generator lanes continue the same splitmix64 stream, so
+        // the main xoshiro state (and every pre-existing pinned stream) is
+        // unchanged by their presence.
+        #[cfg(not(feature = "precise"))]
+        {
+            let mut lanes = [[0u64; GAUSS_LANES]; 4];
+            for i in 0..GAUSS_LANES {
+                for word in lanes.iter_mut() {
+                    word[i] = splitmix64(&mut sm);
+                }
+            }
+            Rand {
+                s,
+                spare: None,
+                lanes,
+                batch: [0.0; GAUSS_BATCH],
+                batch_pos: GAUSS_BATCH,
+            }
+        }
+        #[cfg(feature = "precise")]
+        {
+            Rand { s, spare: None }
+        }
     }
 
     /// Creates the generator for trial `trial` of a run seeded with
@@ -171,6 +221,111 @@ impl Rand {
             self.spare = Some(r * theta.sin());
             return r * theta.cos();
         }
+    }
+
+    /// Fills `out` with standard normal samples from the **block stream**.
+    ///
+    /// The block stream is generated [`GAUSS_BATCH`] samples at a time by
+    /// [`GAUSS_LANES`] lane-parallel xoshiro256++ generators feeding a
+    /// batched, branch-free Box–Muller (polynomial `ln` and `sin`/`cos`
+    /// kernels from [`uwb_dsp::simd`] — the whole refill autovectorizes).
+    /// A carry buffer hands out samples across calls, so the stream depends
+    /// only on *how many* gaussians have been drawn, never on how the
+    /// requests were partitioned (chunk-size invariance, tested).
+    ///
+    /// This is a **different stream** from the scalar [`Rand::gaussian`]:
+    /// the two share a seed but not draws, and their values differ. With
+    /// the `precise` feature the block path is replaced by sequential
+    /// scalar draws (bit-identical to a `gaussian()` loop), restoring the
+    /// pre-vectorization noise stream at matched seeds.
+    ///
+    /// Per-pair math: `u1 = (k1 + 1)·2⁻⁵³ ∈ (0, 1]` (no rejection loop —
+    /// `u1 = 1` gives radius 0), `u2 = k2·2⁻⁵³ ∈ [0, 1)`, then
+    /// `r = √(−2 ln u1)` and the pair is `(r·cos τu2, r·sin τu2)`, matching
+    /// the scalar draw's cos-then-sin order.
+    pub fn fill_gaussian(&mut self, out: &mut [f64]) {
+        #[cfg(feature = "precise")]
+        for o in out.iter_mut() {
+            *o = self.gaussian();
+        }
+        #[cfg(not(feature = "precise"))]
+        {
+            let mut filled = 0;
+            while filled < out.len() {
+                if self.batch_pos == GAUSS_BATCH {
+                    self.refill_gaussian_batch();
+                }
+                let n = (out.len() - filled).min(GAUSS_BATCH - self.batch_pos);
+                out[filled..filled + n]
+                    .copy_from_slice(&self.batch[self.batch_pos..self.batch_pos + n]);
+                self.batch_pos += n;
+                filled += n;
+            }
+        }
+    }
+
+    /// Advances all [`GAUSS_LANES`] lane generators one step, writing each
+    /// lane's xoshiro256++ output to `out`. Both loops are lane-wise
+    /// independent, so they lower to vector shifts/rotates/adds.
+    #[cfg(not(feature = "precise"))]
+    #[inline]
+    // Index form keeps the four state rows visibly in lockstep per lane;
+    // an iterator chain over one row would obscure that and change nothing.
+    #[allow(clippy::needless_range_loop)]
+    fn step_lanes(lanes: &mut [[u64; GAUSS_LANES]; 4], out: &mut [u64; GAUSS_LANES]) {
+        for i in 0..GAUSS_LANES {
+            out[i] = lanes[0][i]
+                .wrapping_add(lanes[3][i])
+                .rotate_left(23)
+                .wrapping_add(lanes[0][i]);
+        }
+        for i in 0..GAUSS_LANES {
+            let t = lanes[1][i] << 17;
+            lanes[2][i] ^= lanes[0][i];
+            lanes[3][i] ^= lanes[1][i];
+            lanes[1][i] ^= lanes[2][i];
+            lanes[0][i] ^= lanes[3][i];
+            lanes[2][i] ^= t;
+            lanes[3][i] = lanes[3][i].rotate_left(45);
+        }
+    }
+
+    /// Regenerates the carry buffer: [`GAUSS_BATCH`]`/2` Box–Muller pairs
+    /// in four flat passes (raw draws → uniforms, batched `ln`, batched
+    /// `sin`/`cos`, combine). All scratch lives on the stack — the warm
+    /// path stays allocation-free.
+    #[cfg(not(feature = "precise"))]
+    fn refill_gaussian_batch(&mut self) {
+        const PAIRS: usize = GAUSS_BATCH / 2;
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        let mut u1 = [0.0f64; PAIRS];
+        let mut u2 = [0.0f64; PAIRS];
+        let mut buf = [0u64; GAUSS_LANES];
+        // Radius uniforms first, then angle uniforms: lane step k feeds
+        // samples k*LANES..(k+1)*LANES, in lane order.
+        for k in 0..PAIRS / GAUSS_LANES {
+            Self::step_lanes(&mut self.lanes, &mut buf);
+            for (u, &raw) in u1[k * GAUSS_LANES..].iter_mut().zip(&buf) {
+                *u = ((raw >> 11) + 1) as f64 * SCALE; // (0, 1]
+            }
+        }
+        for k in 0..PAIRS / GAUSS_LANES {
+            Self::step_lanes(&mut self.lanes, &mut buf);
+            for (u, &raw) in u2[k * GAUSS_LANES..].iter_mut().zip(&buf) {
+                *u = (raw >> 11) as f64 * SCALE; // [0, 1)
+            }
+        }
+        let mut lnv = [0.0f64; PAIRS];
+        uwb_dsp::simd::ln_block(&u1, &mut lnv);
+        let mut sin = [0.0f64; PAIRS];
+        let mut cos = [0.0f64; PAIRS];
+        uwb_dsp::simd::sincos_tau_block(&u2, &mut sin, &mut cos);
+        for k in 0..PAIRS {
+            let r = (-2.0 * lnv[k]).sqrt();
+            self.batch[2 * k] = r * cos[k];
+            self.batch[2 * k + 1] = r * sin[k];
+        }
+        self.batch_pos = 0;
     }
 
     /// Normal sample with the given mean and standard deviation.
@@ -290,6 +445,77 @@ mod tests {
         let v = r.gaussian_vec(200_000);
         assert!(mean(&v).abs() < 0.02, "mean {}", mean(&v));
         assert!((variance(&v) - 1.0).abs() < 0.03, "var {}", variance(&v));
+    }
+
+    #[test]
+    fn fill_gaussian_chunk_invariance() {
+        // The block stream must depend only on how many samples were drawn,
+        // never on the partition of the requests.
+        let mut whole = vec![0.0; 1000];
+        Rand::new(77).fill_gaussian(&mut whole);
+        for chunks in [vec![1000], vec![1, 999], vec![255, 256, 257, 232], vec![7; 143]] {
+            let mut r = Rand::new(77);
+            let mut got = Vec::new();
+            for c in chunks {
+                let mut part = vec![0.0; c];
+                r.fill_gaussian(&mut part);
+                got.extend_from_slice(&part);
+            }
+            got.truncate(1000);
+            let whole_bits: Vec<u64> = whole.iter().map(|x| x.to_bits()).collect();
+            let got_bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(whole_bits, got_bits);
+        }
+    }
+
+    #[test]
+    fn fill_gaussian_moments() {
+        let mut r = Rand::new(321);
+        let mut v = vec![0.0; 400_000];
+        r.fill_gaussian(&mut v);
+        assert!(mean(&v).abs() < 0.01, "mean {}", mean(&v));
+        assert!((variance(&v) - 1.0).abs() < 0.02, "var {}", variance(&v));
+        // Tail sanity: |z| > 3 should appear at ~0.27%.
+        let tail = v.iter().filter(|x| x.abs() > 3.0).count() as f64 / v.len() as f64;
+        assert!((0.001..0.006).contains(&tail), "3-sigma tail {tail}");
+        // And the samples must be finite — the (0, 1] radius uniform rules
+        // out ln(0) without a rejection loop.
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[cfg(not(feature = "precise"))]
+    #[test]
+    fn fill_gaussian_is_a_distinct_stream_from_scalar() {
+        // Documented contract: the block stream shares the seed, not the
+        // draws. It must differ from the scalar stream and leave it intact.
+        let mut r = Rand::new(55);
+        let mut block = vec![0.0; 8];
+        r.fill_gaussian(&mut block);
+        let scalar: Vec<f64> = {
+            let mut s = Rand::new(55);
+            (0..8).map(|_| s.gaussian()).collect()
+        };
+        assert_ne!(block, scalar);
+        // Drawing from the block stream must not perturb the main stream.
+        let mut clean = Rand::new(55);
+        for _ in 0..8 {
+            let a = r.gaussian();
+            let b = clean.gaussian();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[cfg(feature = "precise")]
+    #[test]
+    fn fill_gaussian_precise_matches_scalar_bitwise() {
+        // With the precise feature, the block API is the scalar stream.
+        let mut r = Rand::new(55);
+        let mut block = vec![0.0; 33];
+        r.fill_gaussian(&mut block);
+        let mut s = Rand::new(55);
+        for (i, b) in block.iter().enumerate() {
+            assert_eq!(b.to_bits(), s.gaussian().to_bits(), "sample {i}");
+        }
     }
 
     #[test]

@@ -159,8 +159,13 @@ pub struct StreamingAwgn {
 
 impl StreamingAwgn {
     /// A noise source of total power `noise_power`, consuming `rng` as its
-    /// private draw stream.
+    /// private draw stream. Negative `noise_power` is a caller bug: panics
+    /// in debug builds, clamps to zero in release builds.
     pub fn new(noise_power: f64, rng: Rand) -> Self {
+        debug_assert!(
+            noise_power >= 0.0,
+            "negative noise_power ({noise_power}): a mis-signed SNR runs noiseless"
+        );
         StreamingAwgn {
             sigma: (noise_power.max(0.0) / 2.0).sqrt(),
             initial: rng.clone(),
@@ -169,7 +174,13 @@ impl StreamingAwgn {
     }
 
     /// Re-arms the source for a new record: new noise power, new RNG state.
+    /// Negative `noise_power` is a caller bug: panics in debug builds,
+    /// clamps to zero in release builds.
     pub fn configure(&mut self, noise_power: f64, rng: Rand) {
+        debug_assert!(
+            noise_power >= 0.0,
+            "negative noise_power ({noise_power}): a mis-signed SNR runs noiseless"
+        );
         self.sigma = (noise_power.max(0.0) / 2.0).sqrt();
         self.initial = rng.clone();
         self.rng = rng;
@@ -178,13 +189,15 @@ impl StreamingAwgn {
 
 impl BlockProcessor for StreamingAwgn {
     fn process_block(&mut self, block: &mut [Complex], _scratch: &mut DspScratch) {
-        // Identical draw order (I then Q, ascending sample index) to
-        // `add_awgn_complex_in_place` — the partition is unobservable.
-        for z in block.iter_mut() {
-            *z += Complex::new(
-                self.sigma * self.rng.gaussian(),
-                self.sigma * self.rng.gaussian(),
-            );
+        // Same block stream, I then Q in ascending sample order, as
+        // `add_awgn_complex_in_place`; the carry buffer inside the RNG makes
+        // the block partition unobservable (chunk-size invariance).
+        let mut buf = [0.0f64; 256];
+        for chunk in block.chunks_mut(128) {
+            self.rng.fill_gaussian(&mut buf[..2 * chunk.len()]);
+            for (z, g) in chunk.iter_mut().zip(buf.chunks_exact(2)) {
+                *z += Complex::new(self.sigma * g[0], self.sigma * g[1]);
+            }
         }
     }
 
@@ -203,13 +216,17 @@ enum InterfererState {
     /// CW tone: phase-continuous oscillator.
     Cw { nco: Nco },
     /// BPSK-modulated tone: oscillator + symbol clock + private symbol RNG.
+    /// The RNGs are boxed: `Rand` carries its block-Gaussian carry buffer
+    /// inline (~2.5 KB), which would otherwise balloon every variant of this
+    /// enum. Both boxes are allocated at construction; `reset` refills the
+    /// existing allocation via `clone_from`.
     Modulated {
         nco: Nco,
         sps: usize,
         idx: usize,
         symbol: f64,
-        rng: Rand,
-        initial_rng: Rand,
+        rng: Box<Rand>,
+        initial_rng: Box<Rand>,
     },
     /// Swept tone: explicit phase recurrence with the absolute sample index.
     Swept {
@@ -255,8 +272,8 @@ impl StreamingInterferer {
                     sps: (fs_hz / symbol_rate_hz).max(1.0) as usize,
                     idx: 0,
                     symbol: 1.0,
-                    initial_rng: symbol_rng.clone(),
-                    rng: symbol_rng,
+                    initial_rng: Box::new(symbol_rng.clone()),
+                    rng: Box::new(symbol_rng),
                 }
             }
             InterfererKind::Swept { sweep_hz_per_s } => InterfererState::Swept {
@@ -337,7 +354,9 @@ impl BlockProcessor for StreamingInterferer {
                 *nco = Nco::with_phase(self.offset_hz, self.fs_hz, self.phase0);
                 *idx = 0;
                 *symbol = 1.0;
-                *rng = initial_rng.clone();
+                // clone_from reuses the box's existing allocation, keeping
+                // reset allocation-free on the warm path.
+                rng.clone_from(initial_rng);
             }
             InterfererState::Swept { phase, idx, .. } => {
                 *phase = self.phase0;

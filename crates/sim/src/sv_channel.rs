@@ -348,7 +348,7 @@ impl ChannelRealization {
     /// the quantity a selective-RAKE receiver can collect.
     pub fn energy_capture(&self, n: usize) -> f64 {
         let mut energies: Vec<f64> = self.taps.iter().map(|t| t.gain.norm_sqr()).collect();
-        energies.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        energies.sort_by(|a, b| b.total_cmp(a));
         let total: f64 = energies.iter().sum();
         energies.iter().take(n).sum::<f64>() / total
     }

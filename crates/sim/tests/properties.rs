@@ -123,3 +123,70 @@ proptest! {
         prop_assert!((measured - p).abs() / p < 1e-6);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Block Gaussian generation is bitwise invariant to how a request is
+    /// partitioned into chunks — the carry buffer refills on fixed
+    /// boundaries regardless of the caller's chunking.
+    #[test]
+    fn fill_gaussian_chunk_invariant(
+        seed in any::<u64>(),
+        cuts in prop::collection::vec(1usize..64, 0..24),
+    ) {
+        let total = 600usize;
+        let mut whole = vec![0.0f64; total];
+        Rand::new(seed).fill_gaussian(&mut whole);
+
+        let mut chunked = Rand::new(seed);
+        let mut got = Vec::with_capacity(total);
+        let mut remaining = total;
+        for c in cuts {
+            if remaining == 0 {
+                break;
+            }
+            let take = c.min(remaining);
+            let mut part = vec![0.0f64; take];
+            chunked.fill_gaussian(&mut part);
+            got.extend_from_slice(&part);
+            remaining -= take;
+        }
+        if remaining > 0 {
+            let mut part = vec![0.0f64; remaining];
+            chunked.fill_gaussian(&mut part);
+            got.extend_from_slice(&part);
+        }
+        for (a, b) in whole.iter().zip(&got) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert!(whole.iter().all(|x| x.is_finite()));
+    }
+}
+
+/// The block stream must never perturb the scalar stream (they draw from
+/// independent generator state). Only true off the `precise` feature, where
+/// `fill_gaussian` intentionally *is* the scalar stream.
+#[cfg(not(feature = "precise"))]
+mod block_stream_independence {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn fill_gaussian_leaves_scalar_stream_untouched(
+            seed in any::<u64>(),
+            n in 1usize..400,
+        ) {
+            let mut plain = Rand::new(seed);
+            let want: Vec<u64> = (0..8).map(|_| plain.gaussian().to_bits()).collect();
+
+            let mut mixed = Rand::new(seed);
+            let mut buf = vec![0.0f64; n];
+            mixed.fill_gaussian(&mut buf);
+            let got: Vec<u64> = (0..8).map(|_| mixed.gaussian().to_bits()).collect();
+            prop_assert_eq!(want, got);
+        }
+    }
+}

@@ -70,6 +70,9 @@ obs() {
     echo "== obs: telemetry determinism + schema =="
     cargo test -q --test montecarlo_determinism
     cargo test -q --test telemetry_schema
+    echo "== obs: feature matrix (precise Gaussian stream, f64 acquisition) =="
+    cargo test -q -p uwb-sim --features precise
+    cargo test -q -p uwb-phy --no-default-features
 }
 
 stream() {

@@ -42,7 +42,10 @@ use uwb_bench::tracked::{check_against, time_us, MetricPolicy};
 use uwb_bench::EXPERIMENT_SEED;
 use uwb_dsp::stream::accumulate_scaled;
 use uwb_dsp::Complex;
-use uwb_net::{plan_network, run_plan_threads, NetAccumulator, NetScenario, NetWorker};
+use uwb_net::{
+    build_coupling_sparse, plan_network, run_plan_threads, NetAccumulator, NetScenario, NetWorker,
+};
+use uwb_phy::bandplan::Channel;
 use uwb_sim::Rand;
 
 /// One measured kernel: name + median microseconds per call.
@@ -176,7 +179,54 @@ fn main() -> ExitCode {
         us_per_call: round_us,
     });
 
-    // 4. The deterministic aggregate goodput of the full measured run
+    // 4. Sparse interference-graph construction at city scale: 10,000
+    //    links on the clustered floor plan, round-robin channels, the
+    //    scaling scenario's -40 dB coupling floor. This is the pure
+    //    plan-time graph build (spatial grids + radius queries + exact
+    //    rechecks), no waveform synthesis.
+    let edges_per_node_10k;
+    {
+        let city = NetScenario::clustered_city(1000, 10, 8.0, EXPERIMENT_SEED);
+        let all: Vec<Channel> = Channel::all().collect();
+        let channels: Vec<Channel> = (0..city.len()).map(|l| all[l % all.len()]).collect();
+        let rows = build_coupling_sparse(&city.topology, &city.selectivity, &channels, &city.coupling);
+        let edges: usize = rows.iter().map(|r| r.len()).sum();
+        edges_per_node_10k = edges as f64 / city.len() as f64;
+        kernels.push(Kernel {
+            name: "graph_build_10k",
+            us_per_call: time_us(1, 5, || {
+                let _ = build_coupling_sparse(
+                    &city.topology,
+                    &city.selectivity,
+                    &channels,
+                    &city.coupling,
+                );
+            }),
+        });
+    }
+
+    // 5. One warm 1,000-user round on the event-driven sparse path: lazy
+    //    shared-waveform synthesis, arena recycling, per-victim mixing and
+    //    reception. `nodes_per_s_1k` is the headline scaling number.
+    let nodes_per_s_1k;
+    {
+        let mut city = NetScenario::clustered_city(100, 10, 8.0, EXPERIMENT_SEED);
+        city.rounds = 4;
+        let city_plan = plan_network(&city);
+        let mut worker = NetWorker::new(&city_plan);
+        let mut acc = NetAccumulator::default();
+        worker.round(&city_plan, 0, &mut acc);
+        let us = time_us(1, 5, || {
+            worker.round(&city_plan, 1, &mut acc);
+        });
+        nodes_per_s_1k = city_plan.len() as f64 / (us * 1e-6);
+        kernels.push(Kernel {
+            name: "net_round_1k",
+            us_per_call: us,
+        });
+    }
+
+    // 6. The deterministic aggregate goodput of the full measured run
     //    (1 thread so the baseline is reproducible anywhere).
     let report = run_plan_threads(plan, 1);
     let aggregate_mbps = report.aggregate_throughput_bps / 1e6;
@@ -196,6 +246,10 @@ fn main() -> ExitCode {
     json.push_str("  },\n");
     json.push_str("  \"throughput\": {\n");
     json.push_str(&format!("    \"rounds_per_s\": {rounds_per_s:.1},\n"));
+    json.push_str(&format!("    \"nodes_per_s_1k\": {nodes_per_s_1k:.0},\n"));
+    json.push_str(&format!(
+        "    \"edges_per_node_10k\": {edges_per_node_10k:.2},\n"
+    ));
     json.push_str(&format!("    \"aggregate_mbps\": {aggregate_mbps:.3}\n"));
     json.push_str("  },\n");
     json.push_str("  \"stage_ns_per_round\": {\n");
@@ -215,6 +269,8 @@ fn main() -> ExitCode {
         println!("{:<24} {:>12.2} µs/call", k.name, k.us_per_call);
     }
     println!("{:<24} {:>12.1} rounds/s (1 thread)", "rounds_per_s", rounds_per_s);
+    println!("{:<24} {:>12.0} nodes/s (1k round)", "nodes_per_s_1k", nodes_per_s_1k);
+    println!("{:<24} {:>12.2} edges/node (10k graph)", "edges_per_node_10k", edges_per_node_10k);
     println!("{:<24} {:>12.3} Mbit/s aggregate", "aggregate_mbps", aggregate_mbps);
     println!("\n8-user report ({} rounds):", report.stats.trials);
     print!("{}", report.table());
@@ -238,14 +294,16 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Metric policy for the `uwb-netbench-v1` schema: kernel timings gate;
-/// rounds/s is load-sensitive (info only); `aggregate_mbps` gates as a
-/// determinism pin (bit-stable for the fixed seed, so any drift means the
-/// physics changed); the `stage:` profile is informational.
+/// Metric policy for the `uwb-netbench-v1` schema: kernel timings gate
+/// (including `graph_build_10k` and `net_round_1k`, the sparse-path scaling
+/// anchors); rounds/s and nodes/s are load-sensitive (info only);
+/// `aggregate_mbps` and `edges_per_node_10k` gate as determinism pins
+/// (bit-stable for the fixed seed, so any drift means the physics or the
+/// graph changed); the `stage:` profile is informational.
 fn metric_policy(key: &str) -> MetricPolicy {
     if key == "schema" || key.starts_with("stage:") {
         MetricPolicy::Skip
-    } else if key == "rounds_per_s" {
+    } else if key == "rounds_per_s" || key == "nodes_per_s_1k" {
         MetricPolicy::InfoHigherBetter
     } else {
         MetricPolicy::Gate

@@ -10,7 +10,8 @@
 //! [`NetPlan`], and the measurement phase replays that static plan —
 //! bit-identically for any `UWB_THREADS`.
 
-use crate::coupling::{build_coupling, coupling_db, CouplingRow};
+use crate::arena::{RecordArena, RecordSchedule};
+use crate::coupling::{build_coupling_sparse, coupling_db, CouplingRow};
 use crate::scenario::{ChannelPolicy, NetScenario};
 use uwb_dsp::complex::mean_power;
 use uwb_dsp::stream::accumulate_scaled;
@@ -19,6 +20,7 @@ use uwb_phy::bandplan::Channel;
 use uwb_phy::{ChannelConditions, InterfererReport, LinkAdapter, OperatingPoint, PowerModel, SpectralMonitor};
 use uwb_platform::link::{channel_rms_delay_ns, LinkScenario, LinkWorker};
 use uwb_sim::rng::derive_trial_seed;
+use uwb_sim::time::Hertz;
 use uwb_sim::Rand;
 
 /// Salt that decorrelates per-link seed streams from the engine's per-round
@@ -109,34 +111,45 @@ pub fn plan_network(scenario: &NetScenario) -> NetPlan {
     let n = scenario.len();
     assert!(n > 0, "network needs at least one link");
 
-    // --- Probe synthesis: each link's clean at-victim waveform. ---
-    // Probes use the *base* config so allocation decisions do not depend on
-    // the adaptation they feed.
-    let probe_scenarios: Vec<LinkScenario> = (0..n)
-        .map(|l| LinkScenario {
-            config: scenario.base_config.clone(),
-            channel: scenario.channel_model,
-            ebn0_db: scenario.ebn0_db,
-            interferer: None,
-            notch_enabled: false,
-            seed: link_seed(scenario.seed, l),
-        })
-        .collect();
-    let mut probes: Vec<Vec<Complex>> = Vec::with_capacity(n);
-    let mut probe_n0 = Vec::with_capacity(n);
-    for ps in &probe_scenarios {
-        let mut worker = LinkWorker::new(ps);
-        let mut rng = Rand::for_trial(ps.seed, PROBE_ROUND);
-        let clean =
-            worker.synthesize_clean_streamed(ps, scenario.payload_len, scenario.block_len, &mut rng);
-        probe_n0.push(clean.n0);
-        probes.push(worker.clean_record().to_vec());
-    }
-
     // --- Channel allocation. ---
-    let channels = allocate_channels(scenario, &probes);
+    // The static policies are pure index arithmetic; the greedy
+    // interference-aware policy synthesizes its own dense probe table
+    // internally (documented small-N).
+    let channels = allocate_channels(scenario);
+
+    // --- Sparse interference graph on the final assignment. ---
+    // Couplings below the scenario's floor are never enumerated; with the
+    // default parameters the rows are bit-identical to the dense
+    // `build_coupling` reference.
+    let coupling =
+        build_coupling_sparse(&scenario.topology, &scenario.selectivity, &channels, &scenario.coupling);
 
     // --- Per-link probe measurements on the final assignment. ---
+    // Row-driven sweep over the shared-waveform arena: each link's clean
+    // probe record is synthesized once (by a single shared worker — probes
+    // always use the base config), shared by every coupled victim, and its
+    // slot recycled after its last reader. Peak memory is the graph's
+    // overlap width, not N records.
+    let schedule = RecordSchedule::build(n, &coupling);
+    let mut arena = RecordArena::new(n, schedule.max_live());
+    let mut probe_worker = LinkWorker::new(&LinkScenario {
+        config: scenario.base_config.clone(),
+        channel: scenario.channel_model,
+        ebn0_db: scenario.ebn0_db,
+        interferer: None,
+        notch_enabled: false,
+        seed: scenario.seed,
+    });
+    let mut probe = LinkScenario {
+        config: scenario.base_config.clone(),
+        channel: scenario.channel_model,
+        ebn0_db: scenario.ebn0_db,
+        interferer: None,
+        notch_enabled: false,
+        seed: 0,
+    };
+    let mut probe_n0 = vec![0.0f64; n];
+
     let monitor = SpectralMonitor::new();
     let fs_hz = scenario.base_config.sample_rate.as_hz();
     let mut mix = Vec::new();
@@ -145,27 +158,21 @@ pub fn plan_network(scenario: &NetScenario) -> NetPlan {
     let adapter = LinkAdapter::new(scenario.base_config.clone(), PowerModel::cmos180());
     let delay_ns = channel_rms_delay_ns(scenario.channel_model, 8, scenario.seed);
     for v in 0..n {
-        // Interference superposition at receiver v under the final plan.
-        mix.clear();
-        mix.resize(probes[v].len(), Complex::ZERO);
-        let mut any = false;
-        for u in 0..n {
-            if u == v {
-                continue;
-            }
-            if let Some(db) = coupling_db(
-                &scenario.topology,
-                &scenario.selectivity,
-                u,
-                channels[u],
-                v,
-                channels[v],
-            ) {
-                accumulate_scaled(&mut mix, &probes[u], 10f64.powf(db / 20.0));
-                any = true;
-            }
+        ensure_probe(scenario, v, &mut probe, &mut probe_worker, &mut arena, &mut probe_n0);
+        for &(u, _) in &coupling[v] {
+            ensure_probe(scenario, u, &mut probe, &mut probe_worker, &mut arena, &mut probe_n0);
         }
-        let p_own = mean_power(&probes[v]).max(1e-300);
+
+        // Interference superposition at receiver v under the final plan,
+        // mixed in the same fixed ascending-transmitter order (and with the
+        // same per-edge gains) as the measurement phase.
+        mix.clear();
+        mix.resize(arena.record(v).len(), Complex::ZERO);
+        let any = !coupling[v].is_empty();
+        for &(u, gain) in &coupling[v] {
+            accumulate_scaled(&mut mix, arena.record(u), gain);
+        }
+        let p_own = mean_power(arena.record(v)).max(1e-300);
         let p_intf = if any { mean_power(&mix) } else { 0.0 };
         let interference_rel_db = if p_intf > 0.0 {
             10.0 * (p_intf / p_own).log10()
@@ -173,9 +180,19 @@ pub fn plan_network(scenario: &NetScenario) -> NetPlan {
             f64::NEG_INFINITY
         };
 
-        // Spectral measurement over own signal + interference.
-        accumulate_scaled(&mut mix, &probes[v], 1.0);
-        let spectral = monitor.analyze(&mix, fs_hz);
+        // Spectral measurement over own signal + interference (optional:
+        // the Welch PSD dominates plan time on large networks).
+        let spectral = if scenario.probe_spectral {
+            accumulate_scaled(&mut mix, arena.record(v), 1.0);
+            monitor.analyze(&mix, fs_hz)
+        } else {
+            InterfererReport {
+                detected: false,
+                frequency: Hertz::new(0.0),
+                peak_to_floor_db: 0.0,
+                relative_power_db: f64::NEG_INFINITY,
+            }
+        };
 
         // Adaptation: probe-measured SINR → operating point. The noise
         // power per complex sample is n0 (two-sided, I+Q), so the SNR
@@ -224,9 +241,10 @@ pub fn plan_network(scenario: &NetScenario) -> NetPlan {
             spectral,
             operating,
         });
-    }
 
-    let coupling = build_coupling(&scenario.topology, &scenario.selectivity, &channels);
+        // Recycle every probe record whose last reader was this victim.
+        arena.release_expired(&schedule, v);
+    }
 
     NetPlan {
         links: entries,
@@ -236,6 +254,34 @@ pub fn plan_network(scenario: &NetScenario) -> NetPlan {
         rounds: scenario.rounds,
         seed: scenario.seed,
     }
+}
+
+/// Synthesizes link `u`'s clean probe record into the arena if it is not
+/// already resident. Probes always run on the base config, so one shared
+/// worker serves every link; each record is a pure function of the link's
+/// decorrelated seed, so the lazy first-use order produces exactly the
+/// records the old eager 0..n sweep did.
+fn ensure_probe(
+    scenario: &NetScenario,
+    u: usize,
+    probe: &mut LinkScenario,
+    worker: &mut LinkWorker,
+    arena: &mut RecordArena,
+    probe_n0: &mut [f64],
+) {
+    if arena.is_resident(u) {
+        return;
+    }
+    probe.seed = link_seed(scenario.seed, u);
+    let mut rng = Rand::for_trial(probe.seed, PROBE_ROUND);
+    let clean = worker.synthesize_clean_streamed_record(
+        probe,
+        scenario.payload_len,
+        scenario.block_len,
+        &mut rng,
+        arena.acquire(u),
+    );
+    probe_n0[u] = clean.n0;
 }
 
 /// Tiny helper keeping the channel assignment authoritative over whatever
@@ -251,7 +297,7 @@ impl Gen2ConfigWithChannel {
 }
 
 /// Executes the scenario's channel-allocation policy.
-fn allocate_channels(scenario: &NetScenario, probes: &[Vec<Complex>]) -> Vec<Channel> {
+fn allocate_channels(scenario: &NetScenario) -> Vec<Channel> {
     let n = scenario.len();
     match &scenario.policy {
         ChannelPolicy::Static(chs) | ChannelPolicy::RoundRobin(chs) => {
@@ -260,6 +306,32 @@ fn allocate_channels(scenario: &NetScenario, probes: &[Vec<Complex>]) -> Vec<Cha
         }
         ChannelPolicy::InterferenceAware(candidates) => {
             assert!(!candidates.is_empty(), "channel policy needs candidates");
+            // The greedy policy compares *measured* interference mixes on
+            // every (candidate, assigned) pair, so it materializes the full
+            // O(N) probe-record table and scans O(N²) pairs — a planning
+            // policy for small networks, kept dense by design. Large
+            // networks use the static policies, which are free.
+            let probes: Vec<Vec<Complex>> = (0..n)
+                .map(|l| {
+                    let ps = LinkScenario {
+                        config: scenario.base_config.clone(),
+                        channel: scenario.channel_model,
+                        ebn0_db: scenario.ebn0_db,
+                        interferer: None,
+                        notch_enabled: false,
+                        seed: link_seed(scenario.seed, l),
+                    };
+                    let mut worker = LinkWorker::new(&ps);
+                    let mut rng = Rand::for_trial(ps.seed, PROBE_ROUND);
+                    worker.synthesize_clean_streamed(
+                        &ps,
+                        scenario.payload_len,
+                        scenario.block_len,
+                        &mut rng,
+                    );
+                    worker.clean_record().to_vec()
+                })
+                .collect();
             let mut assigned: Vec<Channel> = Vec::with_capacity(n);
             let mut mix = Vec::new();
             for v in 0..n {

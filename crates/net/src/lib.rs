@@ -50,14 +50,18 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod controller;
 pub mod coupling;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
+pub use arena::{RecordArena, RecordSchedule};
 pub use controller::{link_seed, plan_network, NetLinkPlan, NetPlan};
-pub use coupling::{build_coupling, coupling_db, CouplingRow};
+pub use coupling::{
+    build_coupling, build_coupling_sparse, coupling_db, CouplingParams, CouplingRow,
+};
 pub use report::{LinkReport, NetReport};
 pub use runner::{
     run_network, run_plan, run_plan_threads, LinkRoundStats, NetAccumulator, NetWorker,

@@ -10,16 +10,30 @@
 //! ordered-prefix merge makes the whole network run bit-identical for any
 //! `UWB_THREADS`.
 //!
-//! The warm path allocates nothing: every buffer (per-link workers, the
-//! mix buffer, the per-round clean-synthesis table) lives in [`NetWorker`]
-//! and is reused round after round.
+//! Rounds are **event-driven** over the sparse interference graph: victims
+//! are processed in ascending order; each transmitter's clean waveform is
+//! synthesized lazily (once per round, at its first reader) into a slot of
+//! the shared [`RecordArena`] and recycled after its last reader, so peak
+//! waveform memory is the graph's overlap width rather than N records. An
+//! isolated victim — empty coupling row, record unread by anyone else —
+//! skips the mix-buffer copy entirely and takes its receiver noise in
+//! place, which is what makes idle links and isolated clusters nearly
+//! free.
+//!
+//! The warm path allocates nothing: the config-deduplicated worker pool,
+//! the arena slots, the mix buffer, and the per-round synthesis metadata
+//! all live in [`NetWorker`] and are reused round after round (the arena's
+//! slot-acquisition sequence is identical every round, so each slot
+//! ratchets to its high-water capacity during round 0).
 
+use crate::arena::{RecordArena, RecordSchedule};
 use crate::controller::{plan_network, NetPlan};
 use crate::report::{LinkReport, NetReport};
 use crate::scenario::NetScenario;
 use uwb_dsp::scratch::DspScratch;
 use uwb_dsp::stream::accumulate_scaled;
 use uwb_dsp::Complex;
+use uwb_phy::Gen2Config;
 use uwb_platform::link::{CleanSynthesis, LinkWorker};
 use uwb_platform::metrics::ErrorCounter;
 use uwb_sim::montecarlo::{Merge, MonteCarlo};
@@ -94,93 +108,179 @@ impl Merge for NetAccumulator {
     }
 }
 
-/// Per-thread measurement state: one [`LinkWorker`] per link plus the
-/// reusable mixing buffers. Constructed once per engine worker; everything
-/// warm is allocation-free.
+/// Per-thread measurement state: a config-deduplicated [`LinkWorker`] pool,
+/// the shared-waveform arena with its liveness schedule, and the reusable
+/// mixing buffers. Constructed once per engine worker; everything warm is
+/// allocation-free.
+///
+/// The pool holds one worker per **distinct** `Gen2Config` rather than one
+/// per link — a worker only carries configuration-shaped machinery
+/// (transmitter, streaming channel, receiver scratch), while the per-round
+/// waveforms live in the arena and the per-link payload snapshots in
+/// `payloads`. A 10 000-link network on a round-robin policy therefore
+/// costs 14 workers, not 10 000.
 pub struct NetWorker {
-    workers: Vec<LinkWorker>,
-    clean: Vec<CleanSynthesis>,
+    pool: Vec<LinkWorker>,
+    /// Per link: index of its configuration's worker in `pool`.
+    config_of: Vec<u32>,
+    schedule: RecordSchedule,
+    arena: RecordArena,
+    /// Per link: this round's synthesis metadata (slot-0 index, calibrated
+    /// n0, AWGN RNG), set at lazy synthesis and taken at decode.
+    clean: Vec<Option<CleanSynthesis>>,
+    /// Per link: payload snapshot taken right after synthesis, handed back
+    /// to the (shared) worker at decode time.
+    payloads: Vec<Vec<u8>>,
     mixed: Vec<Complex>,
     scratch: DspScratch,
 }
 
 impl NetWorker {
-    /// Builds the per-link workers from the frozen plan.
+    /// Builds the pooled workers, liveness schedule, and arena from the
+    /// frozen plan.
     pub fn new(plan: &NetPlan) -> Self {
+        let n = plan.len();
+        let mut pool: Vec<LinkWorker> = Vec::new();
+        let mut pool_configs: Vec<&Gen2Config> = Vec::new();
+        let mut config_of = Vec::with_capacity(n);
+        for l in &plan.links {
+            let cfg = &l.scenario.config;
+            let id = match pool_configs.iter().position(|c| *c == cfg) {
+                Some(i) => i,
+                None => {
+                    pool_configs.push(cfg);
+                    pool.push(LinkWorker::new(&l.scenario));
+                    pool_configs.len() - 1
+                }
+            };
+            config_of.push(id as u32);
+        }
+        let schedule = RecordSchedule::build(n, &plan.coupling);
+        let arena = RecordArena::new(n, schedule.max_live());
         NetWorker {
-            workers: plan
-                .links
-                .iter()
-                .map(|l| LinkWorker::new(&l.scenario))
-                .collect(),
-            clean: Vec::with_capacity(plan.len()),
+            pool,
+            config_of,
+            schedule,
+            arena,
+            clean: (0..n).map(|_| None).collect(),
+            payloads: vec![Vec::new(); n],
             mixed: Vec::new(),
             scratch: DspScratch::new(),
         }
     }
 
+    /// Synthesizes link `u`'s clean record for this round into an arena
+    /// slot if it is not already resident, snapshotting the payload the
+    /// shared worker drew. Every record is a pure function of
+    /// `(link_seed(u), round)`, so the lazy first-reader order produces
+    /// exactly the waveforms an eager 0..n sweep would.
+    fn ensure_record(&mut self, plan: &NetPlan, round: u64, u: usize) {
+        if self.arena.is_resident(u) {
+            return;
+        }
+        let _t = uwb_obs::span!("net_schedule");
+        let mut rng = Rand::for_trial(plan.link_seed(u), round);
+        let worker = &mut self.pool[self.config_of[u] as usize];
+        let clean = worker.synthesize_clean_streamed_record(
+            &plan.links[u].scenario,
+            plan.payload_len,
+            plan.block_len,
+            &mut rng,
+            self.arena.acquire(u),
+        );
+        self.payloads[u].clear();
+        self.payloads[u].extend_from_slice(worker.payload_bytes());
+        self.clean[u] = Some(clean);
+    }
+
     /// Runs one network round (= one engine trial) and accumulates every
     /// link's outcome into `acc`.
     ///
-    /// Phase 1 (`net_schedule`): each link synthesizes its clean at-receiver
-    /// record for this round on its own decorrelated per-round RNG.
-    /// Phase 2, per victim: mix own + coupled foreign records + calibrated
-    /// AWGN (`net_mix`), then decode and count (`net_rx`).
+    /// Victims are processed in ascending order. Per victim: materialize
+    /// the records its coupling row needs (`net_schedule`, lazy, shared),
+    /// mix own + coupled foreign records + calibrated AWGN in fixed
+    /// ascending-transmitter order (`net_mix`), decode and count
+    /// (`net_rx`), then recycle every record this victim read last. An
+    /// isolated victim takes its noise in place on its own record and
+    /// never touches the mix buffer.
     pub fn round(&mut self, plan: &NetPlan, round: u64, acc: &mut NetAccumulator) {
         let n = plan.len();
         acc.ensure_len(n);
-
-        // --- Phase 1: clean synthesis for every transmitter. ---
-        {
-            let _t = uwb_obs::span!("net_schedule");
-            self.clean.clear();
-            for (l, (worker, link)) in self.workers.iter_mut().zip(&plan.links).enumerate() {
-                let mut rng = Rand::for_trial(plan.link_seed(l), round);
-                let clean = worker.synthesize_clean_streamed(
-                    &link.scenario,
-                    plan.payload_len,
-                    plan.block_len,
-                    &mut rng,
-                );
-                self.clean.push(clean);
-            }
+        for c in &mut self.clean {
+            *c = None;
         }
 
-        // --- Phase 2: per-victim mixing + reception. ---
         for v in 0..n {
-            {
-                let _t = uwb_obs::span!("net_mix");
-                self.mixed.clear();
-                self.mixed
-                    .extend_from_slice(self.workers[v].clean_record());
-                // Fixed ascending-transmitter order: the summation order is
-                // part of the bit-exactness contract.
-                for &(u, gain) in &plan.coupling[v] {
-                    accumulate_scaled(&mut self.mixed, self.workers[u].clean_record(), gain);
-                }
-                // Receiver noise last, from the RNG state the single-link
-                // path would hold — an uncoupled link is bit-identical to
-                // an isolated streamed run.
-                let mut awgn =
-                    StreamingAwgn::new(self.clean[v].n0, self.clean[v].awgn_rng.clone());
-                uwb_dsp::stream::BlockProcessor::process_block(
-                    &mut awgn,
-                    &mut self.mixed,
-                    &mut self.scratch,
-                );
+            self.ensure_record(plan, round, v);
+            for &(u, _) in &plan.coupling[v] {
+                self.ensure_record(plan, round, u);
             }
-            let _t = uwb_obs::span!("net_rx");
+            let CleanSynthesis {
+                slot0_start,
+                n0,
+                awgn_rng,
+            } = self.clean[v].take().expect("own record just ensured");
+
+            let row = &plan.coupling[v];
             let stats = &mut acc.links[v];
             stats.packets += 1;
-            let ok = self.workers[v].count_errors_in_record(
-                &plan.links[v].scenario.config,
-                &self.mixed,
-                self.clean[v].slot0_start,
-                &mut stats.ber,
-            );
+            let config = &plan.links[v].scenario.config;
+            let rx = &mut self.pool[self.config_of[v] as usize];
+            let ok = if row.is_empty() && self.schedule.last_use(v) == v {
+                // Isolated victim: nobody mixes this record and nobody else
+                // reads it — apply receiver noise in place and decode from
+                // the slot. Identical sample values to the general path
+                // (copy + noise), minus the copy.
+                {
+                    let _t = uwb_obs::span!("net_mix");
+                    let mut awgn = StreamingAwgn::new(n0, awgn_rng);
+                    uwb_dsp::stream::BlockProcessor::process_block(
+                        &mut awgn,
+                        self.arena.record_mut(v),
+                        &mut self.scratch,
+                    );
+                }
+                let _t = uwb_obs::span!("net_rx");
+                rx.count_errors_in_record_with_payload(
+                    config,
+                    self.arena.record(v),
+                    slot0_start,
+                    &self.payloads[v],
+                    &mut stats.ber,
+                )
+            } else {
+                {
+                    let _t = uwb_obs::span!("net_mix");
+                    self.mixed.clear();
+                    self.mixed.extend_from_slice(self.arena.record(v));
+                    // Fixed ascending-transmitter order: the summation order
+                    // is part of the bit-exactness contract.
+                    for &(u, gain) in row {
+                        accumulate_scaled(&mut self.mixed, self.arena.record(u), gain);
+                    }
+                    // Receiver noise last, from the RNG state the single-link
+                    // path would hold — an uncoupled link is bit-identical to
+                    // an isolated streamed run.
+                    let mut awgn = StreamingAwgn::new(n0, awgn_rng);
+                    uwb_dsp::stream::BlockProcessor::process_block(
+                        &mut awgn,
+                        &mut self.mixed,
+                        &mut self.scratch,
+                    );
+                }
+                let _t = uwb_obs::span!("net_rx");
+                rx.count_errors_in_record_with_payload(
+                    config,
+                    &self.mixed,
+                    slot0_start,
+                    &self.payloads[v],
+                    &mut stats.ber,
+                )
+            };
             if !ok {
                 stats.packets_bad += 1;
             }
+            self.arena.release_expired(&self.schedule, v);
         }
     }
 }

@@ -7,6 +7,7 @@
 //! measurement phase touches lives in the derived, static
 //! [`crate::controller::NetPlan`].
 
+use crate::coupling::CouplingParams;
 use uwb_phy::bandplan::Channel;
 use uwb_phy::Gen2Config;
 use uwb_platform::link::DEFAULT_STREAM_BLOCK;
@@ -73,6 +74,18 @@ pub struct NetScenario {
     pub adapt: bool,
     /// Front-end adjacent-channel selectivity model.
     pub selectivity: ChannelSelectivity,
+    /// Sparse interference-graph parameters: the total-coupling floor,
+    /// optional per-receiver edge cap, and spatial-grid cell size. The
+    /// default ([`CouplingParams::default`]) reproduces the classic dense
+    /// semantics bit-for-bit — only the front end's spectral floor drops
+    /// edges.
+    pub coupling: CouplingParams,
+    /// Run the Welch [`uwb_phy::SpectralMonitor`] over each receiver's
+    /// probe superposition during planning. On by default; large networks
+    /// turn it off because the per-link PSD dominates plan time and its
+    /// result only feeds planning diagnostics (the adapter's
+    /// `interferer_present` flag falls back to the coupling graph).
+    pub probe_spectral: bool,
 }
 
 impl NetScenario {
@@ -96,7 +109,22 @@ impl NetScenario {
             policy: ChannelPolicy::round_robin_all(),
             adapt: false,
             selectivity: ChannelSelectivity::gen2(),
+            coupling: CouplingParams::default(),
+            probe_spectral: true,
         }
+    }
+
+    /// A clustered "city" piconet: `clusters × per_cluster` links on the
+    /// [`Topology::clustered`] floor plan (20 m cluster pitch, 3 m cluster
+    /// radius, 1 m links), round-robin channels, and a finite coupling
+    /// floor so the interference graph stays sparse. Spectral probing is
+    /// off — this is the constructor for large-N scaling runs.
+    pub fn clustered_city(clusters: usize, per_cluster: usize, ebn0_db: f64, seed: u64) -> NetScenario {
+        let mut sc = NetScenario::ring(1, ebn0_db, seed);
+        sc.topology = Topology::clustered(clusters, per_cluster, 20.0, 3.0, 1.0, seed);
+        sc.coupling.floor_db = -40.0;
+        sc.probe_spectral = false;
+        sc
     }
 
     /// Number of links (the topology's length).

@@ -11,7 +11,10 @@
 //! 4. **Scale** — ≥ 8 concurrent links across ≥ 3 channels runs and
 //!    reports coherently.
 
-use uwb_net::{plan_network, run_network, run_plan, run_plan_threads, ChannelPolicy, NetScenario};
+use uwb_net::{
+    build_coupling, plan_network, run_network, run_plan, run_plan_threads, ChannelPolicy,
+    NetScenario,
+};
 use uwb_phy::bandplan::Channel;
 use uwb_platform::link::{run_ber_fast_streamed_budgeted, TrialBudget};
 use uwb_sim::topology::{LinkGeometry, Position, Topology};
@@ -179,6 +182,97 @@ fn interference_aware_policy_beats_all_co_channel() {
         aware_report.aggregate_throughput_bps,
         packed_report.aggregate_throughput_bps
     );
+}
+
+#[test]
+fn sparse_graph_round_is_bit_identical_to_dense_path() {
+    // 16 users, round-robin across the band: co- and adjacent-channel
+    // coupling everywhere. The sparse scenario's floor (-150 dB) is far
+    // below every coupling the spectral floor keeps, so the geometric
+    // pruning must be a pure no-op: the planned graph must equal both the
+    // classic dense-semantics plan and the brute-force O(N²) reference
+    // bit-for-bit, and the measurement rounds must produce bit-identical
+    // counters.
+    let mut dense_sc = NetScenario::ring(16, 7.0, SEED ^ 0x16);
+    dense_sc.rounds = 4;
+    let mut sparse_sc = dense_sc.clone();
+    sparse_sc.coupling.floor_db = -150.0;
+
+    let dense_plan = plan_network(&dense_sc);
+    let sparse_plan = plan_network(&sparse_sc);
+
+    let channels: Vec<Channel> = dense_plan.links.iter().map(|l| l.channel).collect();
+    let reference = build_coupling(&dense_sc.topology, &dense_sc.selectivity, &channels);
+    assert!(
+        reference.iter().any(|r| !r.is_empty()),
+        "the 16-user scenario must actually couple"
+    );
+    for v in 0..16 {
+        let bits = |row: &Vec<(usize, f64)>| -> Vec<(usize, u64)> {
+            row.iter().map(|&(u, g)| (u, g.to_bits())).collect()
+        };
+        assert_eq!(
+            bits(&sparse_plan.coupling[v]),
+            bits(&reference[v]),
+            "sparse row {v} differs from the dense reference"
+        );
+        assert_eq!(
+            bits(&sparse_plan.coupling[v]),
+            bits(&dense_plan.coupling[v]),
+            "sparse row {v} differs from the default-parameters plan"
+        );
+    }
+
+    let dense_report = run_plan(dense_plan);
+    let sparse_report = run_plan(sparse_plan);
+    for l in 0..16 {
+        assert_eq!(
+            dense_report.links[l].counter, sparse_report.links[l].counter,
+            "link {l}: sparse-graph round diverged from the dense path"
+        );
+    }
+    assert_eq!(
+        dense_report.aggregate_throughput_bps.to_bits(),
+        sparse_report.aggregate_throughput_bps.to_bits()
+    );
+}
+
+/// Release-scale gate (run via `scripts/check.sh net`): a 1,000-user
+/// clustered city plans with a bounded sparse graph and measures
+/// bit-identically for 1/2/4/8 worker threads.
+#[test]
+#[ignore = "release-scale gate: scripts/check.sh net runs it with --release"]
+fn thousand_user_clustered_round_is_thread_invariant() {
+    let mut sc = NetScenario::clustered_city(100, 10, 7.0, SEED ^ 0x1000);
+    sc.rounds = 1;
+    let plan = plan_network(&sc);
+    let n = plan.len();
+    assert_eq!(n, 1000);
+    let edges: usize = plan.coupling.iter().map(|r| r.len()).sum();
+    let edges_per_node = edges as f64 / n as f64;
+    assert!(edges > 0, "the city must actually couple");
+    assert!(
+        edges_per_node < 80.0,
+        "graph is not sparse: {edges_per_node:.1} edges/node"
+    );
+
+    let reference = run_plan_threads(plan.clone(), 1);
+    for threads in [2, 4, 8] {
+        let got = run_plan_threads(plan.clone(), threads);
+        for l in 0..n {
+            assert_eq!(
+                got.links[l].counter, reference.links[l].counter,
+                "thread count {threads} changed link {l}'s counter"
+            );
+            assert_eq!(got.links[l].packets, reference.links[l].packets);
+            assert_eq!(got.links[l].packets_bad, reference.links[l].packets_bad);
+        }
+        assert_eq!(
+            got.aggregate_throughput_bps.to_bits(),
+            reference.aggregate_throughput_bps.to_bits(),
+            "thread count {threads} changed the aggregate"
+        );
+    }
 }
 
 #[test]

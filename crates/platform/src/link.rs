@@ -432,6 +432,31 @@ impl LinkWorker {
         block_len: usize,
         rng: &mut Rand,
     ) -> CleanSynthesis {
+        // `mem::take` detaches the record buffer so the `_record` variant can
+        // borrow it alongside `&mut self`; swap-restore, no allocation.
+        let mut samples = std::mem::take(&mut self.samples);
+        let clean =
+            self.synthesize_clean_streamed_record(scenario, payload_len, block_len, rng, &mut samples);
+        self.samples = samples;
+        clean
+    }
+
+    /// [`synthesize_clean_streamed`](Self::synthesize_clean_streamed) with
+    /// the record written into an **externally owned** buffer instead of the
+    /// worker's private one. This is what lets the network simulator share
+    /// one worker across every link of a given configuration: the per-round
+    /// waveforms live in the caller's arena while the worker only carries
+    /// the configuration-shaped machinery (transmitter, streaming channel,
+    /// scratch). Identical RNG schedule and sample values to the private-
+    /// buffer variant; allocation-free once `record` has warmed to capacity.
+    pub fn synthesize_clean_streamed_record(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        block_len: usize,
+        rng: &mut Rand,
+        record: &mut Vec<Complex>,
+    ) -> CleanSynthesis {
         let config = &scenario.config;
         {
             let _t = uwb_obs::span!("tx");
@@ -469,15 +494,14 @@ impl LinkWorker {
 
         let block_len = block_len.max(1);
         let n = self.burst.samples.len();
-        self.samples.clear();
-        self.samples.reserve(n + self.stream_channel.tail_len());
+        record.clear();
+        record.reserve(n + self.stream_channel.tail_len());
         let scratch = self.rx_state.scratch();
         let mut start = 0;
         while start < n {
             let end = (start + block_len).min(n);
-            self.samples
-                .extend_from_slice(&self.burst.samples[start..end]);
-            let block = &mut self.samples[start..end];
+            record.extend_from_slice(&self.burst.samples[start..end]);
+            let block = &mut record[start..end];
             {
                 let _t = uwb_obs::span!("channel");
                 self.stream_channel.process_block(block, scratch);
@@ -494,10 +518,10 @@ impl LinkWorker {
         // interferer also covers the convolution tail.
         {
             let _t = uwb_obs::span!("channel");
-            self.stream_channel.flush_into(&mut self.samples, scratch);
+            self.stream_channel.flush_into(record, scratch);
         }
-        if self.samples.len() > n {
-            let tail = &mut self.samples[n..];
+        if record.len() > n {
+            let tail = &mut record[n..];
             if let Some(src) = interferer.as_mut() {
                 let _t = uwb_obs::span!("interferer");
                 src.process_block(tail, scratch);
@@ -527,6 +551,15 @@ impl LinkWorker {
     /// this to build per-victim superpositions.
     pub fn clean_record(&self) -> &[Complex] {
         &self.samples
+    }
+
+    /// The payload bytes drawn by the most recent synthesis call. The
+    /// network simulator snapshots these right after synthesizing a link's
+    /// record so that a *shared* worker can later be handed back the right
+    /// reference payload at decode time
+    /// (see [`count_errors_in_record_with_payload`](Self::count_errors_in_record_with_payload)).
+    pub fn payload_bytes(&self) -> &[u8] {
+        &self.payload
     }
 
     /// Shared back half of the BER-only trials: known-timing statistics
@@ -583,6 +616,24 @@ impl LinkWorker {
         } else {
             false
         }
+    }
+
+    /// [`count_errors_in_record`](Self::count_errors_in_record) for a
+    /// *pooled* worker that has synthesized other links' records since this
+    /// link's: the caller supplies the payload snapshot taken at synthesis
+    /// time and the worker restores it before decoding. The copy is a few
+    /// dozen bytes into a warmed buffer — allocation-free in steady state.
+    pub fn count_errors_in_record_with_payload(
+        &mut self,
+        config: &Gen2Config,
+        record: &[Complex],
+        slot0_start: usize,
+        payload: &[u8],
+        counter: &mut ErrorCounter,
+    ) -> bool {
+        self.payload.clear();
+        self.payload.extend_from_slice(payload);
+        self.count_errors_in_record(config, record, slot0_start, counter)
     }
 
     /// BER-only trial: known-timing statistics path. Zero steady-state heap

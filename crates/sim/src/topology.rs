@@ -8,6 +8,7 @@
 //! the network crate.
 
 use crate::pathloss::log_distance_path_loss_db;
+use crate::rng::Rand;
 use crate::time::Hertz;
 
 /// A node position on the floor plan, in metres.
@@ -136,6 +137,256 @@ impl Topology {
     /// problem of multi-user impulse radio.
     pub fn relative_gain_db(&self, tx_link: usize, rx_link: usize, f: Hertz) -> f64 {
         self.path_loss_db(rx_link, rx_link, f) - self.path_loss_db(tx_link, rx_link, f)
+    }
+
+    /// A clustered floor plan — the "city" layout: `clusters` piconet
+    /// clusters arranged on a square grid with `cluster_spacing_m` pitch,
+    /// each holding `per_cluster` links whose transmitters are placed
+    /// uniformly inside a disc of `cluster_radius_m` and whose receivers sit
+    /// `link_distance_m` away at a uniform angle. Deterministic: the layout
+    /// is a pure function of `seed`.
+    pub fn clustered(
+        clusters: usize,
+        per_cluster: usize,
+        cluster_spacing_m: f64,
+        cluster_radius_m: f64,
+        link_distance_m: f64,
+        seed: u64,
+    ) -> Topology {
+        let mut rng = Rand::new(seed ^ 0x70_70_6f_6c_6f_67_79); // "topology"
+        let side = (clusters as f64).sqrt().ceil() as usize;
+        let mut links = Vec::with_capacity(clusters * per_cluster);
+        for c in 0..clusters {
+            let cx = (c % side.max(1)) as f64 * cluster_spacing_m;
+            let cy = (c / side.max(1)) as f64 * cluster_spacing_m;
+            for _ in 0..per_cluster {
+                // Uniform in the disc: sqrt-radius × uniform angle.
+                let r = cluster_radius_m * rng.uniform().sqrt();
+                let phi = rng.uniform_in(0.0, 2.0 * std::f64::consts::PI);
+                let tx = Position::new(cx + r * phi.cos(), cy + r * phi.sin());
+                let psi = rng.uniform_in(0.0, 2.0 * std::f64::consts::PI);
+                let rx = Position::new(
+                    tx.x + link_distance_m * psi.cos(),
+                    tx.y + link_distance_m * psi.sin(),
+                );
+                links.push(LinkGeometry::new(tx, rx));
+            }
+        }
+        Topology::new(links)
+    }
+
+    /// Builds a uniform [`SpatialGrid`] over all **transmitter** positions
+    /// with the given cell size (metres).
+    pub fn grid(&self, cell_size_m: f64) -> SpatialGrid {
+        SpatialGrid::from_points(self.links.iter().map(|l| l.tx).enumerate(), cell_size_m)
+    }
+}
+
+/// A uniform spatial hash over a set of indexed points, built once and
+/// queried many times: the plan-time structure that lets the network
+/// simulator enumerate candidate interferers in ~O(k) per receiver instead
+/// of scanning all N transmitters.
+///
+/// Query results are **deterministic and build-order independent**:
+/// `within_radius_into` returns ids in ascending order, `k_nearest_into` in
+/// ascending `(distance, id)` order.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell_size_m: f64,
+    origin: Position,
+    nx: usize,
+    ny: usize,
+    /// CSR layout: ids of cell `c` are `items[cell_start[c]..cell_start[c+1]]`,
+    /// ascending within each cell.
+    cell_start: Vec<u32>,
+    items: Vec<(u32, Position)>,
+}
+
+impl SpatialGrid {
+    /// Builds the grid from `(id, position)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size_m` is not a positive finite number or any
+    /// position is non-finite.
+    pub fn from_points(
+        points: impl IntoIterator<Item = (usize, Position)>,
+        cell_size_m: f64,
+    ) -> SpatialGrid {
+        assert!(
+            cell_size_m.is_finite() && cell_size_m > 0.0,
+            "cell size must be positive and finite"
+        );
+        let pts: Vec<(u32, Position)> = points
+            .into_iter()
+            .map(|(id, p)| {
+                assert!(p.x.is_finite() && p.y.is_finite(), "non-finite position");
+                (id as u32, p)
+            })
+            .collect();
+        if pts.is_empty() {
+            return SpatialGrid {
+                cell_size_m,
+                origin: Position::new(0.0, 0.0),
+                nx: 0,
+                ny: 0,
+                cell_start: vec![0],
+                items: Vec::new(),
+            };
+        }
+        let min_x = pts.iter().map(|(_, p)| p.x).fold(f64::INFINITY, f64::min);
+        let min_y = pts.iter().map(|(_, p)| p.y).fold(f64::INFINITY, f64::min);
+        let max_x = pts.iter().map(|(_, p)| p.x).fold(f64::NEG_INFINITY, f64::max);
+        let max_y = pts.iter().map(|(_, p)| p.y).fold(f64::NEG_INFINITY, f64::max);
+        let origin = Position::new(min_x, min_y);
+        let nx = ((max_x - min_x) / cell_size_m).floor() as usize + 1;
+        let ny = ((max_y - min_y) / cell_size_m).floor() as usize + 1;
+
+        // Counting sort into CSR, stable in id order: sorting the points by
+        // id first makes every cell's slice ascending regardless of the
+        // caller's iteration order.
+        let mut sorted = pts;
+        sorted.sort_unstable_by_key(|&(id, _)| id);
+        let cell_of = |p: &Position| -> usize {
+            let cx = (((p.x - origin.x) / cell_size_m).floor() as usize).min(nx - 1);
+            let cy = (((p.y - origin.y) / cell_size_m).floor() as usize).min(ny - 1);
+            cy * nx + cx
+        };
+        let mut counts = vec![0u32; nx * ny + 1];
+        for (_, p) in &sorted {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for c in 0..nx * ny {
+            counts[c + 1] += counts[c];
+        }
+        let cell_start = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![(0u32, Position::new(0.0, 0.0)); sorted.len()];
+        for (id, p) in sorted {
+            let c = cell_of(&p);
+            items[cursor[c] as usize] = (id, p);
+            cursor[c] += 1;
+        }
+        SpatialGrid {
+            cell_size_m,
+            origin,
+            nx,
+            ny,
+            cell_start,
+            items,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the grid indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The cell-index range `[lo, hi]` covered by `[c - r, c + r]` along one
+    /// axis, clamped to the grid. `r = inf` covers the whole axis.
+    fn axis_range(&self, c: f64, o: f64, n: usize, r: f64) -> (usize, usize) {
+        if n == 0 {
+            return (1, 0); // empty range
+        }
+        let lo = ((c - r - o) / self.cell_size_m).floor().max(0.0);
+        let hi = ((c + r - o) / self.cell_size_m).floor().min((n - 1) as f64);
+        if hi < lo {
+            return (1, 0);
+        }
+        (lo as usize, hi as usize)
+    }
+
+    /// Appends to `out` the ids of every indexed point within `radius_m`
+    /// (inclusive) of `center`, in **ascending id** order. An infinite
+    /// radius returns every point. `out` is cleared first; no allocation
+    /// once it has warmed to capacity.
+    pub fn within_radius_into(&self, center: Position, radius_m: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if radius_m < 0.0 || self.items.is_empty() {
+            return;
+        }
+        let (x0, x1) = self.axis_range(center.x, self.origin.x, self.nx, radius_m);
+        let (y0, y1) = self.axis_range(center.y, self.origin.y, self.ny, radius_m);
+        if x1 < x0 || y1 < y0 {
+            return;
+        }
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                let c = cy * self.nx + cx;
+                let lo = self.cell_start[c] as usize;
+                let hi = self.cell_start[c + 1] as usize;
+                for &(id, p) in &self.items[lo..hi] {
+                    if p.distance_m(&center) <= radius_m {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        // Cells were visited row-major, so the union is not id-sorted.
+        out.sort_unstable();
+    }
+
+    /// Appends to `out` the `k` nearest indexed points to `center`, in
+    /// ascending `(distance, id)` order (ties broken toward the lower id).
+    /// Returns fewer than `k` when the grid holds fewer points. `out` is
+    /// cleared first.
+    pub fn k_nearest_into(&self, center: Position, k: usize, out: &mut Vec<u32>) {
+        out.clear();
+        if k == 0 || self.items.is_empty() {
+            return;
+        }
+        // Expanding ring search: examine cells within ring `r`, keep the k
+        // best; stop once the ring's inner boundary distance exceeds the
+        // current k-th best (then nothing outside can improve the set).
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        let push = |best: &mut Vec<(f64, u32)>, d: f64, id: u32| {
+            let key = (d, id);
+            let pos = best
+                .binary_search_by(|&(bd, bid)| (bd, bid).partial_cmp(&key).expect("finite"))
+                .unwrap_or_else(|e| e);
+            if pos < k {
+                best.insert(pos, (d, id));
+                best.truncate(k);
+            }
+        };
+        let cx0 = ((center.x - self.origin.x) / self.cell_size_m).floor();
+        let cy0 = ((center.y - self.origin.y) / self.cell_size_m).floor();
+        let max_ring = self.nx.max(self.ny) + (cx0.abs() + cy0.abs()) as usize + 2;
+        for ring in 0..=max_ring {
+            // Inner boundary of ring r: any point in it is at least
+            // (r-1)·cell away from the center cell's boundary.
+            if best.len() == k {
+                let bound = (ring as f64 - 1.0) * self.cell_size_m;
+                if bound > best[k - 1].0 {
+                    break;
+                }
+            }
+            let r = ring as i64;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if dx.abs().max(dy.abs()) != r {
+                        continue; // only the ring's border cells
+                    }
+                    let cx = cx0 + dx as f64;
+                    let cy = cy0 + dy as f64;
+                    if cx < 0.0 || cy < 0.0 || cx >= self.nx as f64 || cy >= self.ny as f64 {
+                        continue;
+                    }
+                    let c = cy as usize * self.nx + cx as usize;
+                    let lo = self.cell_start[c] as usize;
+                    let hi = self.cell_start[c + 1] as usize;
+                    for &(id, p) in &self.items[lo..hi] {
+                        push(&mut best, p.distance_m(&center), id);
+                    }
+                }
+            }
+        }
+        out.extend(best.iter().map(|&(_, id)| id));
     }
 }
 

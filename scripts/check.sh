@@ -95,6 +95,8 @@ net() {
     cargo test -q -p uwb-net
     echo "== net: zero-allocation warm network round =="
     cargo test -q --release --test alloc_regression
+    echo "== net: 1,000-user sparse round, 1/2/4/8-thread fingerprint =="
+    cargo test -q --release -p uwb-net --test net_acceptance -- --ignored
     echo "== net: netbench vs committed BENCH_net.json (tol ${tol}%) =="
     cargo build --release -p uwb-bench --bin netbench
     UWB_THREADS=1 ./target/release/netbench --check BENCH_net.json --tol "$tol"

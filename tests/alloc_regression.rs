@@ -182,4 +182,40 @@ fn gen2_fast_path_steady_state_is_allocation_free() {
         acc.links.iter().all(|l| l.ber.total > 0),
         "network rounds produced no bits"
     );
+
+    // --- 64-user sparse round: the arena-scheduled, event-driven network
+    //     path must also be allocation-free once warm — lazy record
+    //     synthesis into recycled arena slots, config-pooled workers,
+    //     payload snapshots, and per-victim mixing all out of `NetWorker`'s
+    //     preallocated storage. The finite coupling floor makes the graph
+    //     sparse, so slots really are recycled mid-round. ---
+    let mut city = NetScenario::ring(64, 6.0, 20050315);
+    city.probe_spectral = false;
+    city.coupling.floor_db = -60.0;
+    let plan = plan_network(&city);
+    let edges: usize = plan.coupling.iter().map(|r| r.len()).sum();
+    assert!(edges > 0, "the 64-user gate must exercise real mixing");
+    let mut net_worker = NetWorker::new(&plan);
+    let mut acc = NetAccumulator::default();
+    for r in 0..2 {
+        net_worker.round(&plan, r, &mut acc);
+    }
+
+    let before = thread_allocs();
+    for r in 2..6 {
+        net_worker.round(&plan, r, &mut acc);
+    }
+    let after = thread_allocs();
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state 64-user rounds must not allocate ({} allocations \
+         across 4 rounds)",
+        after - before
+    );
+    assert!(
+        acc.links.iter().all(|l| l.ber.total > 0),
+        "64-user rounds produced no bits"
+    );
 }

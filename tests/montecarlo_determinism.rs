@@ -241,12 +241,13 @@ fn network_run_is_thread_invariant_including_telemetry() {
     if uwb_obs::enabled() {
         let telem = &serial.stats.telemetry;
         assert!(!telem.is_empty(), "instrumented network run yielded no telemetry");
-        // One scheduling span per round; one mix + one reception per link
-        // per round.
+        // One scheduling span per lazy record synthesis (every link
+        // transmits once per round); one mix + one reception per link per
+        // round.
         let rounds = serial.stats.trials;
         let n = sc.len() as u64;
         for (stage, expect) in [
-            ("net_schedule", rounds),
+            ("net_schedule", rounds * n),
             ("net_mix", rounds * n),
             ("net_rx", rounds * n),
         ] {

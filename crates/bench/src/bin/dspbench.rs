@@ -30,7 +30,7 @@
 //! ```
 //!
 //! `stage_ns_per_trial` is the per-stage wall-clock profile of the full-path
-//! throughput loop (uwb-telemetry-v1 stage timers; empty when the `obs`
+//! throughput loop (uwb-obs stage timers; empty when the `obs`
 //! feature is off). Keys are prefixed `stage:` and the regression checker
 //! skips them — the profile is informational, never a CI gate.
 
@@ -335,7 +335,7 @@ fn main() -> ExitCode {
     println!("{:<34} {:>10.1} trials/s (1 thread)", "fast_path", fast_tps);
     println!("{:<34} {:>10}", "fft_plans_built", plans_built);
 
-    // Per-stage profile of the full-path loop (uwb-telemetry-v1).
+    // Per-stage profile of the full-path loop (uwb-obs stage timers).
     let profile = uwb_platform::report::stage_table(&telemetry);
     if !profile.is_empty() {
         println!("\nfull-path stage profile ({trials} trials):");

@@ -7,7 +7,7 @@
 //! with delay spread, and AWGN tracks the BPSK theory curve.
 
 use std::time::Duration;
-use uwb_bench::{banner, EXPERIMENT_SEED};
+use uwb_bench::{banner, trace_arg, write_trace, EXPERIMENT_SEED};
 use uwb_phy::Gen2Config;
 use uwb_platform::link::{run_ber_fast, BerRun, LinkScenario};
 use uwb_platform::metrics::bpsk_awgn_ber;
@@ -26,6 +26,7 @@ fn format_cell(run: &BerRun) -> String {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     println!(
         "{}",
         banner("E5", "gen2 100 Mbps link: BER vs Eb/N0, RAKE vs 1-finger", "§3 / Fig. 3")
@@ -122,11 +123,23 @@ fn main() {
         resolve_threads(None),
     );
 
-    // Per-stage profile aggregated over every BER point (uwb-telemetry-v1).
+    // Per-stage profile aggregated over every BER point (uwb-telemetry-v2).
     let profile = stage_table(&telemetry);
     if !profile.is_empty() {
         println!("\nstage profile ({total_trials} trials, all points merged):");
         print!("{profile}");
+    }
+    // Worst trials across every point (seeds feed `smoke --replay-seed`,
+    // though replaying a non-smoke scenario needs the matching config).
+    if !telemetry.worst.is_empty() {
+        print!("\n{}", uwb_obs::recorder::render_report(&telemetry.worst));
+    }
+    // Optional span-timeline export aggregated over every BER point.
+    if let Some(path) = trace_arg(&args) {
+        if let Err(e) = write_trace(&path, &telemetry) {
+            eprintln!("--trace {path}: {e}");
+            std::process::exit(1);
+        }
     }
 
     println!(

@@ -93,7 +93,7 @@ fn main() {
         println!("warning: at least one run was truncated by the trial budget");
     }
 
-    // Per-stage profile over the three link conditions (uwb-telemetry-v1).
+    // Per-stage profile over the three link conditions (uwb-obs stage timers).
     // With the notch active the `notch` stage and `notch_retune` events appear;
     // the clean/jammed runs contribute none.
     let mut telemetry = uwb_obs::Telemetry::default();

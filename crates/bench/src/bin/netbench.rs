@@ -27,14 +27,16 @@
 //!     "rounds_per_s": <warm rounds/s, 1 thread>,
 //!     "aggregate_mbps": <deterministic 8-user aggregate goodput>
 //!   },
-//!   "stage_ns_per_round": { "stage:<name>": <ns per round>, ... }
+//!   "stage_ns_per_trial": { "stage:<name>": <ns per round>, ... }
 //! }
 //! ```
 //!
 //! `aggregate_mbps` is a *physical* quantity, bit-deterministic for the
 //! fixed scenario/seed — it is gated not as a perf number but as a cheap
-//! whole-chain determinism pin. `stage_ns_per_round` is the informational
-//! telemetry profile (`stage:` keys are skipped by the checker).
+//! whole-chain determinism pin. `stage_ns_per_trial` (one engine trial =
+//! one network round; named like dspbench's for schema consistency) is the
+//! informational telemetry profile (`stage:` keys are skipped by the
+//! checker).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -252,7 +254,7 @@ fn main() -> ExitCode {
     ));
     json.push_str(&format!("    \"aggregate_mbps\": {aggregate_mbps:.3}\n"));
     json.push_str("  },\n");
-    json.push_str("  \"stage_ns_per_round\": {\n");
+    json.push_str("  \"stage_ns_per_trial\": {\n");
     let stages = &telemetry.stages;
     for (i, st) in stages.iter().enumerate() {
         let comma = if i + 1 == stages.len() { "" } else { "," };

@@ -7,15 +7,33 @@
 //! * both runs finish without exhausting the trial budget (non-truncated);
 //! * the two counters are bit-identical (the engine's determinism contract);
 //! * the measured BER is sane for the operating point.
+//!
+//! Extra modes:
+//!
+//! * `--trace out.json` — export the run's span timeline as Chrome Trace
+//!   Event JSON (needs a build with `--features obs-trace`);
+//! * `--replay-seed <seed>` — re-run exactly one trial on the given derived
+//!   RNG seed (from a flight-recorder report) with a verbose forensic dump;
+//! * `--speedup [trials]` — engine-vs-serial throughput comparison.
 
 use std::process::ExitCode;
 use std::time::Instant;
-use uwb_bench::{banner, EXPERIMENT_SEED};
+use uwb_bench::{banner, trace_arg, write_trace, EXPERIMENT_SEED};
 use uwb_phy::Gen2Config;
 use uwb_platform::link::{
-    run_ber_budgeted, run_packet, run_ber_fast_budgeted, LinkOutcome, LinkScenario, TrialBudget,
+    run_ber_budgeted, run_packet, run_ber_fast_budgeted, LinkOutcome, LinkScenario, LinkWorker,
+    TrialBudget,
 };
 use uwb_platform::report::stage_table;
+
+/// Parses a u64 seed in decimal or `0x`-prefixed hex (the form the flight
+/// recorder prints).
+fn parse_seed(s: &str) -> Result<u64, std::num::ParseIntError> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    }
+}
 
 /// Renders a trials/sec figure that may be unavailable for untimed runs.
 fn tps(v: Option<f64>) -> String {
@@ -90,8 +108,58 @@ fn speedup(trials: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `smoke --replay-seed <seed>`: re-runs exactly one full trial on a derived
+/// RNG seed taken from a flight-recorder report, with a verbose forensic
+/// dump (outcome, stage profile, notes, event breadcrumbs). The trial's
+/// waveforms, decisions, and errors reproduce the recorded trial bit-for-bit
+/// because every trial is a pure function of its derived seed.
+fn replay(seed: u64) -> ExitCode {
+    let config = Gen2Config {
+        preamble_repeats: 2,
+        ..Gen2Config::nominal_100mbps()
+    };
+    let scenario = LinkScenario::awgn(config, 6.0, EXPERIMENT_SEED);
+    println!("replaying one trial on derived seed {seed:#x}");
+
+    let _ = uwb_obs::take_thread_telemetry(); // isolate the dump
+    uwb_obs::set_trial(0);
+    uwb_obs::recorder::begin_trial(0, seed);
+    let mut rng = uwb_sim::Rand::new(seed);
+    let mut worker = LinkWorker::new(&scenario);
+    let mut outcome = LinkOutcome::default();
+    worker.trial_full(&scenario, 24, &mut rng, &mut outcome);
+    let telemetry = uwb_obs::take_thread_telemetry();
+
+    println!(
+        "outcome: {} bit error(s) / {} bits, packets {}/{} ok, {} sync failure(s)",
+        outcome.ber.errors, outcome.ber.total, outcome.packets_ok, outcome.packets,
+        outcome.sync_failures
+    );
+    let profile = stage_table(&telemetry);
+    if !profile.is_empty() {
+        println!("\nstage profile (1 trial):");
+        print!("{profile}");
+    }
+    print!("\n{}", uwb_obs::recorder::render_report(&telemetry.worst));
+    if !uwb_obs::enabled() {
+        eprintln!("warning: telemetry disabled in this build; rebuild with `--features obs`");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(seed) = args
+        .iter()
+        .position(|a| a == "--replay-seed")
+        .and_then(|i| args.get(i + 1))
+    {
+        let Ok(seed) = parse_seed(seed) else {
+            eprintln!("--replay-seed: expected a decimal or 0x-hex u64, got '{seed}'");
+            return ExitCode::FAILURE;
+        };
+        return replay(seed);
+    }
     if args.iter().any(|a| a == "--speedup") {
         let trials = args
             .iter()
@@ -156,11 +224,34 @@ fn main() -> ExitCode {
         failures += 1;
     }
 
-    // Per-stage profile of the multi-threaded run (uwb-telemetry-v1).
+    // Per-stage profile of the multi-threaded run (uwb-telemetry-v2).
     let profile = stage_table(&run.stats.telemetry);
     if !profile.is_empty() {
         println!("\nstage profile ({} trials):", run.stats.trials);
         print!("{profile}");
+    }
+    // Percentile digests (v2 `quantiles`).
+    for d in &run.stats.telemetry.digests {
+        println!(
+            "digest {}: n={} p50={} p95={} p99={} max={}",
+            d.name,
+            d.count,
+            d.quantile(0.50),
+            d.quantile(0.95),
+            d.quantile(0.99),
+            d.max
+        );
+    }
+    // Worst-trial flight recorder (seeds feed `smoke --replay-seed`).
+    if !run.stats.telemetry.worst.is_empty() {
+        print!("\n{}", uwb_obs::recorder::render_report(&run.stats.telemetry.worst));
+    }
+    // Optional span-timeline export.
+    if let Some(path) = trace_arg(&args) {
+        if let Err(e) = write_trace(&path, &run.stats.telemetry) {
+            eprintln!("FAIL: --trace {path}: {e}");
+            failures += 1;
+        }
     }
 
     if failures == 0 {

@@ -44,6 +44,34 @@ pub fn banner(id: &str, title: &str, source: &str) -> String {
     )
 }
 
+/// Extracts the value of a `--trace <path>` flag from an argument list.
+pub fn trace_arg(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Writes a run's span timeline as Chrome Trace Event JSON (viewable in
+/// Perfetto / `chrome://tracing`). Warns instead of writing an empty file
+/// when the build records no spans (`obs-trace` feature off).
+pub fn write_trace(path: &str, telemetry: &uwb_obs::Telemetry) -> std::io::Result<()> {
+    if !uwb_obs::trace::enabled() {
+        eprintln!(
+            "warning: --trace {path}: this build records no spans; \
+             rebuild with `--features obs-trace`"
+        );
+        return Ok(());
+    }
+    std::fs::write(path, uwb_obs::trace::export_chrome(&telemetry.spans))?;
+    println!(
+        "trace: {} span(s) ({} dropped) -> {path}",
+        telemetry.spans.len(),
+        telemetry.spans_dropped
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

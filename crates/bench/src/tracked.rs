@@ -142,8 +142,11 @@ pub fn check_against(
                 MetricPolicy::InfoLowerBetter => "worse (info)",
                 MetricPolicy::Skip => unreachable!(),
             }
+        } else if delta_pct < -tol_pct {
+            // Faster/better beyond the tolerance band: candidate for re-pinning.
+            "improved"
         } else {
-            ""
+            "ok"
         };
         println!("{key:<34} {base_v:>12.3} {curr_v:>12.3} {delta_pct:>+8.1}% {verdict}");
     }

@@ -131,6 +131,9 @@ pub struct NetWorker {
     /// Per link: payload snapshot taken right after synthesis, handed back
     /// to the (shared) worker at decode time.
     payloads: Vec<Vec<u8>>,
+    /// Per link: mean power of this round's clean record (cached at
+    /// synthesis, read by every victim that mixes it for its SINR digest).
+    power: Vec<f64>,
     mixed: Vec<Complex>,
     scratch: DspScratch,
 }
@@ -164,6 +167,7 @@ impl NetWorker {
             arena,
             clean: (0..n).map(|_| None).collect(),
             payloads: vec![Vec::new(); n],
+            power: vec![0.0; n],
             mixed: Vec::new(),
             scratch: DspScratch::new(),
         }
@@ -190,6 +194,7 @@ impl NetWorker {
         );
         self.payloads[u].clear();
         self.payloads[u].extend_from_slice(worker.payload_bytes());
+        self.power[u] = uwb_dsp::simd::mean_power(self.arena.record(u));
         self.clean[u] = Some(clean);
     }
 
@@ -210,6 +215,8 @@ impl NetWorker {
             *c = None;
         }
 
+        let mut round_errs = 0u64;
+        let mut round_bad = 0u64;
         for v in 0..n {
             self.ensure_record(plan, round, v);
             for &(u, _) in &plan.coupling[v] {
@@ -222,7 +229,21 @@ impl NetWorker {
             } = self.clean[v].take().expect("own record just ensured");
 
             let row = &plan.coupling[v];
+            // Per-victim round SINR: own clean power over coupled foreign
+            // power (plan gains are amplitude factors → power scales by
+            // gain²) plus the calibrated per-sample receiver noise power.
+            // Centi-dB with a +100 dB offset keeps the u64 digest monotonic
+            // across the practical [-100, +84] dB range.
+            let interference: f64 = row
+                .iter()
+                .map(|&(u, gain)| gain * gain * self.power[u])
+                .sum();
+            let sinr = self.power[v] / (interference + n0).max(f64::MIN_POSITIVE);
+            let sinr_cdb = (10.0 * sinr.log10() + 100.0) * 100.0;
+            uwb_obs::digest!("net_link_sinr_cdb", sinr_cdb.max(0.0) as u64);
+
             let stats = &mut acc.links[v];
+            let errs_before = stats.ber.errors;
             stats.packets += 1;
             let config = &plan.links[v].scenario.config;
             let rx = &mut self.pool[self.config_of[v] as usize];
@@ -279,9 +300,16 @@ impl NetWorker {
             };
             if !ok {
                 stats.packets_bad += 1;
+                round_bad += 1;
             }
+            round_errs += stats.ber.errors - errs_before;
             self.arena.release_expired(&self.schedule, v);
         }
+        // Finalize this round's flight-recorder snapshot: one network round
+        // is one engine trial, scored by its network-wide bit-error total
+        // (no-op unless the engine armed the trial).
+        uwb_obs::note!("net_round_bad_packets", round_bad);
+        uwb_obs::recorder::observe(round_errs, 0);
     }
 }
 
@@ -324,7 +352,15 @@ fn run_plan_engine(plan: NetPlan, threads: Option<usize>) -> NetReport {
         .zip(&acc.links)
         .map(|(l, s)| LinkReport::new(l, s))
         .collect();
-    NetReport::new(links, outcome.stats, plan)
+    let mut stats = outcome.stats;
+    // Per-link goodput digest, recorded after the workers joined (serial,
+    // ascending link order → deterministic for any thread count) and folded
+    // into the run's telemetry snapshot.
+    for l in &links {
+        uwb_obs::digest!("net_link_goodput_kbps", (l.throughput_bps / 1e3) as u64);
+    }
+    stats.telemetry.merge(&uwb_obs::take_thread_telemetry());
+    NetReport::new(links, stats, plan)
 }
 
 #[cfg(test)]

@@ -11,18 +11,20 @@ use crate::registry::{self, EventId, HistId};
 #[cfg(not(feature = "obs"))]
 use crate::registry::{EventId, HistId};
 
-use crate::registry::StageId;
+use crate::registry::{DigestId, StageId};
 use crate::telemetry::Telemetry;
 
 #[cfg(feature = "obs")]
-use crate::telemetry::{log2_bin, EventStat, HistStat, StageStat, HIST_BINS};
+use crate::telemetry::{
+    digest_bin, log2_bin, DigestStat, EventStat, HistStat, StageStat, DIGEST_BINS, HIST_BINS,
+};
 #[cfg(feature = "obs")]
 use std::cell::Cell;
 #[cfg(feature = "obs")]
 use std::time::Instant;
 
 #[cfg(feature = "obs")]
-use crate::registry::{MAX_EVENTS, MAX_HISTS, MAX_STAGES};
+use crate::registry::{MAX_DIGESTS, MAX_EVENTS, MAX_HISTS, MAX_STAGES};
 
 // ---------------------------------------------------------------------------
 // Thread-local collector (obs on)
@@ -36,6 +38,10 @@ struct Collector {
     hist_n: [Cell<u64>; MAX_HISTS],
     hist_sum: [Cell<u64>; MAX_HISTS],
     hist_bins: [[Cell<u64>; HIST_BINS]; MAX_HISTS],
+    digest_n: [Cell<u64>; MAX_DIGESTS],
+    digest_sum: [Cell<u64>; MAX_DIGESTS],
+    digest_max: [Cell<u64>; MAX_DIGESTS],
+    digest_bins: [[Cell<u64>; DIGEST_BINS]; MAX_DIGESTS],
     trial: Cell<u64>,
 }
 
@@ -49,6 +55,10 @@ impl Collector {
             hist_n: [const { Cell::new(0) }; MAX_HISTS],
             hist_sum: [const { Cell::new(0) }; MAX_HISTS],
             hist_bins: [const { [const { Cell::new(0) }; HIST_BINS] }; MAX_HISTS],
+            digest_n: [const { Cell::new(0) }; MAX_DIGESTS],
+            digest_sum: [const { Cell::new(0) }; MAX_DIGESTS],
+            digest_max: [const { Cell::new(0) }; MAX_DIGESTS],
+            digest_bins: [const { [const { Cell::new(0) }; DIGEST_BINS] }; MAX_DIGESTS],
             trial: Cell::new(0),
         }
     }
@@ -107,6 +117,10 @@ impl StageTimer {
     /// Starts timing the given stage (no-op guard if `id` is the sentinel).
     #[inline]
     pub fn start(id: StageId) -> StageTimer {
+        // Pin the trace epoch no later than any span start, so span start
+        // offsets never saturate to zero (except the epoch-defining first).
+        #[cfg(feature = "obs-trace")]
+        let _ = crate::trace::epoch();
         StageTimer {
             id,
             t0: Instant::now(),
@@ -123,10 +137,21 @@ impl Drop for StageTimer {
         }
         let ns = self.t0.elapsed().as_nanos() as u64;
         let i = self.id.0 as usize;
-        TLS.with(|c| {
+        let trial = TLS.with(|c| {
             c.stage_ns[i].set(c.stage_ns[i].get().wrapping_add(ns));
             c.stage_calls[i].set(c.stage_calls[i].get() + 1);
+            c.trial.get()
         });
+        #[cfg(feature = "obs-trace")]
+        {
+            let start_ns = self
+                .t0
+                .saturating_duration_since(crate::trace::epoch())
+                .as_nanos() as u64;
+            crate::trace::push(self.id.0, trial, start_ns, ns);
+        }
+        #[cfg(not(feature = "obs-trace"))]
+        let _ = trial;
     }
 }
 
@@ -170,6 +195,7 @@ pub fn record_event(id: EventId, name: &'static str, value: u64) {
         c.events[i].set(c.events[i].get() + 1);
         c.trial.get()
     });
+    crate::recorder::crumb(id.0, value);
     crate::ring::push(name, trial, value);
 }
 
@@ -203,6 +229,31 @@ pub fn record_hist(id: HistId, value: u64) {
 #[inline(always)]
 pub fn record_hist(_id: HistId, _value: u64) {}
 
+/// Records `value` into the percentile digest's per-thread log-linear bins.
+/// Called by [`crate::digest!`]; not public API.
+#[cfg(feature = "obs")]
+#[doc(hidden)]
+#[inline]
+pub fn record_digest(id: DigestId, value: u64) {
+    if id == DigestId::NONE {
+        return;
+    }
+    let i = id.0 as usize;
+    let b = digest_bin(value);
+    TLS.with(|c| {
+        c.digest_n[i].set(c.digest_n[i].get() + 1);
+        c.digest_sum[i].set(c.digest_sum[i].get().wrapping_add(value));
+        c.digest_max[i].set(c.digest_max[i].get().max(value));
+        c.digest_bins[i][b].set(c.digest_bins[i][b].get() + 1);
+    });
+}
+
+/// No-op (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+#[doc(hidden)]
+#[inline(always)]
+pub fn record_digest(_id: DigestId, _value: u64) {}
+
 // ---------------------------------------------------------------------------
 // Draining
 // ---------------------------------------------------------------------------
@@ -217,6 +268,7 @@ pub fn take_thread_telemetry() -> Telemetry {
     let stage_names = registry::stage_names();
     let event_names = registry::event_names();
     let hist_names = registry::hist_names();
+    let digest_names = registry::digest_names();
 
     TLS.with(|c| {
         let mut stages: Vec<StageStat> = Vec::new();
@@ -254,13 +306,42 @@ pub fn take_thread_telemetry() -> Telemetry {
                 });
             }
         }
+        let mut digests: Vec<DigestStat> = Vec::new();
+        for (i, name) in digest_names.iter().enumerate() {
+            let count = c.digest_n[i].replace(0);
+            let sum = c.digest_sum[i].replace(0);
+            let max = c.digest_max[i].replace(0);
+            let mut bins: Vec<(u16, u64)> = Vec::new();
+            for (b, cell) in c.digest_bins[i].iter().enumerate() {
+                let n = cell.replace(0);
+                if n > 0 {
+                    bins.push((b as u16, n));
+                }
+            }
+            if count > 0 {
+                digests.push(DigestStat {
+                    name,
+                    count,
+                    sum,
+                    max,
+                    bins,
+                });
+            }
+        }
         stages.sort_unstable_by_key(|s| s.name);
         events.sort_unstable_by_key(|e| e.name);
         hists.sort_unstable_by_key(|h| h.name);
+        digests.sort_unstable_by_key(|d| d.name);
+        let (spans, spans_dropped) = crate::trace::drain();
+        let worst = crate::recorder::drain();
         Telemetry {
             stages,
             events,
             hists,
+            digests,
+            spans,
+            spans_dropped,
+            worst,
         }
     })
 }

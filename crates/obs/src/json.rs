@@ -1,7 +1,7 @@
 //! Minimal hand-rolled JSON: an escaper for rendering and a strict
 //! recursive-descent parser for schema validation in tests.
 //!
-//! The workspace bans external dependencies, so the `uwb-telemetry-v1`
+//! The workspace bans external dependencies, so the `uwb-telemetry-v2`
 //! documents are rendered by hand and validated with this parser. The
 //! parser is deliberately strict: no `NaN`/`Infinity` tokens, no trailing
 //! commas, no comments — if a renderer leaks a non-finite float the schema
@@ -284,7 +284,11 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
+            let key_at = self.pos;
             let key = self.string()?;
+            if out.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key \"{key}\" at byte {key_at}"));
+            }
             self.skip_ws();
             self.expect(b':')?;
             let val = self.value()?;
@@ -344,6 +348,14 @@ mod tests {
         assert!(parse("[1,2],").is_err());
         assert!(parse("").is_err());
         assert!(parse("{\"a\"").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_keys() {
+        assert!(parse(r#"{"a":1,"a":2}"#).is_err());
+        assert!(parse(r#"{"a":{"b":1,"b":2}}"#).is_err());
+        // Same key at different nesting depths is fine.
+        assert!(parse(r#"{"a":{"a":1},"b":[{"a":2},{"a":3}]}"#).is_ok());
     }
 
     #[test]

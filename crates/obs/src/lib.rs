@@ -16,6 +16,17 @@
 //!   the Monte-Carlo trial that produced them;
 //! * **histograms** — [`hist!`]: fixed-bin log2 histograms of deterministic
 //!   per-trial quantities (bit errors per trial, acquisition offsets);
+//! * **percentile digests** — [`digest!`]: fixed log-linear (HDR-style)
+//!   histograms with deterministic p50/p95/p99/max extraction
+//!   ([`telemetry::DigestStat::quantile`]), surfaced as the `"quantiles"`
+//!   array of the `uwb-telemetry-v2` report;
+//! * **span timelines** — [`trace`] (opt-in `obs-trace` feature): the same
+//!   [`span!`] guards additionally fill per-thread rings of
+//!   `{stage, trial, start_ns, dur_ns}` records, exportable as Chrome Trace
+//!   Event JSON for Perfetto;
+//! * **flight recorder** — [`recorder`]: a bounded deterministic ring of the
+//!   K worst trials with forensic snapshots (trial seed for replay, [`note!`]
+//!   values, event breadcrumbs), thread-count-invariant by construction;
 //! * **sharded counters / gauges** — [`counter!`] / [`gauge!`]: process-wide
 //!   registry metrics with per-thread shards, merged in deterministic shard
 //!   order (u64 wrapping addition, so the merged value is order-independent
@@ -28,10 +39,26 @@
 //!
 //! With the `obs` feature **off** (the default for bare library consumers),
 //! every macro and collection function compiles to a no-op: [`StageTimer`]
-//! is a zero-sized type, [`event!`]/[`hist!`] expand to dead borrows the
-//! optimizer deletes, and [`take_thread_telemetry`] returns an empty
-//! [`Telemetry`]. The umbrella `uwb` crate and the experiment binaries
-//! enable the feature by default.
+//! is a zero-sized type, [`event!`]/[`hist!`]/[`digest!`]/[`note!`] expand
+//! to dead borrows the optimizer deletes, and [`take_thread_telemetry`]
+//! returns an empty [`Telemetry`]. The umbrella `uwb` crate and the
+//! experiment binaries enable the feature by default. The `obs-trace`
+//! feature (off by default, implies `obs`) additionally turns on span
+//! timelines; without it [`trace::enabled`] is `false` and span recording
+//! costs nothing.
+//!
+//! ## Histogram bin edges
+//!
+//! [`hist!`] bins by **significant bits**: bin 0 holds the value 0 and bin
+//! `k` (1 ≤ k ≤ 62) holds `2^(k-1) ≤ v < 2^k` — so bin 1 is exactly {1},
+//! bin 2 is {2, 3}, bin 3 is {4..=7}, and so on. The top bin (63) is
+//! **saturating**: it holds every value with 63 *or more* significant bits,
+//! i.e. the closed range `[2^62, u64::MAX]` — `u64::MAX` and every
+//! near-boundary value land there deterministically rather than wrapping or
+//! panicking. [`digest!`] refines the same idea with 16 linear sub-buckets
+//! per power-of-two decade ([`telemetry::DIGEST_BINS`] bins total), which
+//! bounds the relative quantile error at 6.25%; its top bin's inclusive
+//! upper edge saturates at `u64::MAX`.
 //!
 //! ## Determinism contract
 //!
@@ -64,7 +91,9 @@
 
 pub mod counter;
 pub mod json;
+pub mod recorder;
 pub mod telemetry;
+pub mod trace;
 
 mod collect;
 mod registry;
@@ -72,15 +101,17 @@ mod ring;
 
 pub use collect::{current_trial, set_trial, take_thread_telemetry, StageTimer};
 #[doc(hidden)]
-pub use collect::{record_event, record_hist};
+pub use collect::{record_digest, record_event, record_hist};
 pub use counter::{Gauge, ShardedCounter, COUNTER_SHARDS};
 pub use registry::{
-    register_counter, register_event, register_gauge, register_hist, register_stage,
-    registered_counters, registered_gauges, EventId, GaugeId, HistId, StageId, MAX_EVENTS,
-    MAX_HISTS, MAX_STAGES,
+    register_counter, register_digest, register_event, register_gauge, register_hist,
+    register_note, register_stage, registered_counters, registered_gauges, DigestId, EventId,
+    GaugeId, HistId, NoteId, StageId, MAX_DIGESTS, MAX_EVENTS, MAX_HISTS, MAX_NOTES, MAX_STAGES,
 };
 pub use ring::{clear_events, recent_events, Event, RING_CAP};
-pub use telemetry::{EventStat, HistStat, StageStat, Telemetry, HIST_BINS};
+pub use telemetry::{
+    DigestStat, EventStat, HistStat, StageStat, Telemetry, DIGEST_BINS, HIST_BINS,
+};
 
 /// `true` when this build collects telemetry (the `obs` feature is on).
 pub const fn enabled() -> bool {
@@ -173,6 +204,61 @@ macro_rules! hist {
 #[cfg(not(feature = "obs"))]
 #[macro_export]
 macro_rules! hist {
+    ($name:expr, $value:expr) => {{
+        let _ = (&$name, &$value);
+    }};
+}
+
+/// Records a `u64` sample into the named percentile digest: a fixed
+/// log-linear (HDR-style) histogram with deterministic p50/p95/p99/max
+/// extraction, rendered in the telemetry report's `"quantiles"` array.
+///
+/// ```
+/// uwb_obs::digest!("trial_bit_errors", 3u64);
+/// ```
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! digest {
+    ($name:expr, $value:expr) => {{
+        static __UWB_OBS_DIGEST: ::std::sync::OnceLock<$crate::DigestId> =
+            ::std::sync::OnceLock::new();
+        let __id = *__UWB_OBS_DIGEST.get_or_init(|| $crate::register_digest($name));
+        $crate::record_digest(__id, $value);
+    }};
+}
+
+/// No-op form (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! digest {
+    ($name:expr, $value:expr) => {{
+        let _ = (&$name, &$value);
+    }};
+}
+
+/// Writes a named forensic note onto the flight recorder's in-flight trial
+/// (latest value per name wins; ignored outside `recorder::begin_trial` /
+/// `recorder::observe`). Signed quantities should be stored two's-complement
+/// (`as u64`) and are rendered back as `i64`.
+///
+/// ```
+/// uwb_obs::note!("snr_milli_db", (-3500i64) as u64);
+/// ```
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! note {
+    ($name:expr, $value:expr) => {{
+        static __UWB_OBS_NOTE: ::std::sync::OnceLock<$crate::NoteId> =
+            ::std::sync::OnceLock::new();
+        let __id = *__UWB_OBS_NOTE.get_or_init(|| $crate::register_note($name));
+        $crate::recorder::record_note(__id, $value);
+    }};
+}
+
+/// No-op form (`obs` feature off).
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! note {
     ($name:expr, $value:expr) => {{
         let _ = (&$name, &$value);
     }};

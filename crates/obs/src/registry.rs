@@ -17,6 +17,10 @@ pub const MAX_STAGES: usize = 32;
 pub const MAX_EVENTS: usize = 32;
 /// Maximum number of distinct histogram names.
 pub const MAX_HISTS: usize = 16;
+/// Maximum number of distinct percentile digests.
+pub const MAX_DIGESTS: usize = 8;
+/// Maximum number of distinct flight-recorder note names.
+pub const MAX_NOTES: usize = 16;
 
 /// Identifies a registered pipeline stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,6 +38,14 @@ pub struct HistId(pub(crate) u16);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GaugeId(pub(crate) u16);
 
+/// Identifies a registered percentile digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DigestId(pub(crate) u16);
+
+/// Identifies a registered flight-recorder note name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NoteId(pub(crate) u16);
+
 impl StageId {
     /// Sentinel for "not registered" (no-op builds, capacity overflow).
     pub const NONE: StageId = StageId(u16::MAX);
@@ -49,11 +61,23 @@ impl HistId {
     pub const NONE: HistId = HistId(u16::MAX);
 }
 
+impl DigestId {
+    /// Sentinel for "not registered".
+    pub const NONE: DigestId = DigestId(u16::MAX);
+}
+
+impl NoteId {
+    /// Sentinel for "not registered".
+    pub const NONE: NoteId = NoteId(u16::MAX);
+}
+
 #[derive(Default)]
 struct Registry {
     stages: Vec<&'static str>,
     events: Vec<&'static str>,
     hists: Vec<&'static str>,
+    digests: Vec<&'static str>,
+    notes: Vec<&'static str>,
     counters: Vec<(&'static str, &'static ShardedCounter)>,
     gauges: Vec<(&'static str, &'static Gauge)>,
 }
@@ -62,6 +86,8 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     stages: Vec::new(),
     events: Vec::new(),
     hists: Vec::new(),
+    digests: Vec::new(),
+    notes: Vec::new(),
     counters: Vec::new(),
     gauges: Vec::new(),
 });
@@ -93,6 +119,18 @@ pub fn register_event(name: &'static str) -> EventId {
 pub fn register_hist(name: &'static str) -> HistId {
     let mut reg = REGISTRY.lock().expect("obs registry poisoned");
     intern(&mut reg.hists, MAX_HISTS, name).map_or(HistId::NONE, HistId)
+}
+
+/// Registers (or looks up) a percentile digest name, returning its id.
+pub fn register_digest(name: &'static str) -> DigestId {
+    let mut reg = REGISTRY.lock().expect("obs registry poisoned");
+    intern(&mut reg.digests, MAX_DIGESTS, name).map_or(DigestId::NONE, DigestId)
+}
+
+/// Registers (or looks up) a flight-recorder note name, returning its id.
+pub fn register_note(name: &'static str) -> NoteId {
+    let mut reg = REGISTRY.lock().expect("obs registry poisoned");
+    intern(&mut reg.notes, MAX_NOTES, name).map_or(NoteId::NONE, NoteId)
 }
 
 /// Registers (or looks up) a process-wide sharded counter by name.
@@ -155,6 +193,18 @@ pub(crate) fn event_names() -> Vec<&'static str> {
 #[cfg_attr(not(feature = "obs"), allow(dead_code))]
 pub(crate) fn hist_names() -> Vec<&'static str> {
     REGISTRY.lock().expect("obs registry poisoned").hists.clone()
+}
+
+/// Names of all registered percentile digests, indexed by [`DigestId`].
+#[cfg_attr(not(feature = "obs"), allow(dead_code))]
+pub(crate) fn digest_names() -> Vec<&'static str> {
+    REGISTRY.lock().expect("obs registry poisoned").digests.clone()
+}
+
+/// Names of all registered flight-recorder notes, indexed by [`NoteId`].
+#[cfg_attr(not(feature = "obs"), allow(dead_code))]
+pub(crate) fn note_names() -> Vec<&'static str> {
+    REGISTRY.lock().expect("obs registry poisoned").notes.clone()
 }
 
 #[cfg(test)]

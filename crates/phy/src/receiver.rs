@@ -182,6 +182,7 @@ impl Gen2Receiver {
         }
         let gain = 0.355 / p.sqrt();
         uwb_obs::gauge!("agc_gain_milli").set((gain * 1000.0) as u64);
+        uwb_obs::note!("agc_gain_milli", (gain * 1000.0) as u64);
         // Fused scale + mid-rise quantize sweep — bit-identical to scaling
         // and quantizing each rail in turn (see Quantizer parity test).
         self.quantizer.quantize_scaled_into(samples, gain, out);
@@ -248,6 +249,10 @@ impl Gen2Receiver {
                 &mut state.scratch,
             )
         };
+        // Flight-recorder forensics: where the correlator locked and how
+        // confidently (milli-units of the normalized [0,1] peak metric).
+        uwb_obs::note!("acq_offset", acq.offset as u64);
+        uwb_obs::note!("acq_metric_milli", (acq.metric * 1000.0) as u64);
         if !acq.detected {
             uwb_obs::event!("acq_miss");
             return Err(PhyError::SyncFailed);

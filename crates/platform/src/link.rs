@@ -346,6 +346,7 @@ impl LinkWorker {
             let _t = uwb_obs::span!("awgn");
             let eb = energy_per_info_bit(&self.burst.slots, self.payload.len());
             let n0 = eb / uwb_dsp::math::db_to_pow(scenario.ebn0_db);
+            uwb_obs::note!("ebn0_milli_db", (scenario.ebn0_db * 1000.0) as i64 as u64);
             add_awgn_complex_in_place(&mut self.samples, n0, rng);
         }
 
@@ -490,6 +491,7 @@ impl LinkWorker {
             let eb = energy_per_info_bit(&self.burst.slots, self.payload.len());
             eb / uwb_dsp::math::db_to_pow(scenario.ebn0_db)
         };
+        uwb_obs::note!("ebn0_milli_db", (scenario.ebn0_db * 1000.0) as i64 as u64);
         let awgn_rng = rng.clone();
 
         let block_len = block_len.max(1);
@@ -572,9 +574,13 @@ impl LinkWorker {
     ) {
         // `mem::take` detaches the record so the external-record variant
         // can borrow it alongside `&mut self`; swap-restore, no allocation.
+        let before = counter.errors;
         let samples = std::mem::take(&mut self.samples);
         self.count_errors_in_record(&scenario.config, &samples, slot0_start, counter);
         self.samples = samples;
+        // BER-only trials never acquire; the flight recorder scores them on
+        // bit errors alone (no-op unless the engine armed this trial).
+        uwb_obs::recorder::observe(counter.errors - before, 0);
     }
 
     /// Known-timing BER back half over an *externally supplied* record —
@@ -612,6 +618,7 @@ impl LinkWorker {
             reference_payload_bits_into(&self.payload, &mut self.frame_scratch, &mut self.ref_bits);
             counter.add_bits(&self.ref_bits, &self.bits);
             uwb_obs::hist!("trial_bit_errors", counter.errors - before);
+            uwb_obs::digest!("trial_bit_errors", counter.errors - before);
             counter.errors == before
         } else {
             false
@@ -676,6 +683,7 @@ impl LinkWorker {
         outcome: &mut LinkOutcome,
     ) {
         let slot0_start = self.synthesize(scenario, payload_len, rng);
+        let ber_before = outcome.ber.errors;
 
         // --- BER path: known timing. ---
         self.rx.payload_statistics_known_timing_with(
@@ -704,6 +712,7 @@ impl LinkWorker {
                 );
                 outcome.ber.add_bits(&self.ref_bits, &self.bits);
                 uwb_obs::hist!("trial_bit_errors", outcome.ber.errors - before);
+                uwb_obs::digest!("trial_bit_errors", outcome.ber.errors - before);
             }
         }
 
@@ -715,12 +724,23 @@ impl LinkWorker {
         // memo also skips the duplicate chanest pass (bit-exact, see
         // `RxState::chanest_memo`).
         outcome.packets += 1;
-        match self.rx.receive_packet_predigitized(&mut self.rx_state) {
-            Ok(pkt) if pkt.payload == self.payload => outcome.packets_ok += 1,
-            Ok(_) => {}
-            Err(PhyError::SyncFailed) => outcome.sync_failures += 1,
-            Err(_) => {}
-        }
+        let acq_metric_bits = match self.rx.receive_packet_predigitized(&mut self.rx_state) {
+            Ok(pkt) => {
+                if pkt.payload == self.payload {
+                    outcome.packets_ok += 1;
+                }
+                pkt.acquisition.metric.to_bits()
+            }
+            Err(PhyError::SyncFailed) => {
+                outcome.sync_failures += 1;
+                0
+            }
+            Err(_) => 0,
+        };
+        // Finalize the flight-recorder snapshot for this trial (no-op unless
+        // the engine armed it): bit errors first, then the acquisition
+        // confidence as tiebreak.
+        uwb_obs::recorder::observe(outcome.ber.errors - ber_before, acq_metric_bits);
     }
 }
 

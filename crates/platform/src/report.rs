@@ -291,6 +291,7 @@ mod tests {
                 count: 3,
             }],
             hists: vec![],
+            ..Default::default()
         };
         let t = stage_table(&telemetry);
         let s = t.render();

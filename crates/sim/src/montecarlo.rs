@@ -136,20 +136,21 @@ impl RunStats {
         )
     }
 
-    /// `uwb-telemetry-v1` JSON record (hand-rolled — no serde).
+    /// `uwb-telemetry-v2` JSON record (hand-rolled — no serde).
     ///
     /// Run-level wall-clock fields (`wall_ms`, `trials_per_sec`) vary
     /// between runs; the embedded `"telemetry"` object is the
     /// *deterministic* view (stage call counts, event counts, histogram
-    /// bins — no nanoseconds) and is bit-identical for any `UWB_THREADS`.
-    /// `trials_per_sec` is `null` when the run was too short to time.
+    /// bins, and the v2 `"quantiles"` percentile digests — no nanoseconds)
+    /// and is bit-identical for any `UWB_THREADS`. `trials_per_sec` is
+    /// `null` when the run was too short to time.
     pub fn to_json(&self) -> String {
         let tps = match self.trials_per_sec() {
             Some(v) => format!("{v:.1}"),
             None => "null".to_string(),
         };
         format!(
-            "{{\"schema\":\"uwb-telemetry-v1\",\"trials\":{},\"trials_executed\":{},\"wall_ms\":{:.3},\"threads\":{},\"trials_per_sec\":{},\"stop_reason\":\"{}\",\"truncated\":{},\"telemetry\":{}}}",
+            "{{\"schema\":\"uwb-telemetry-v2\",\"trials\":{},\"trials_executed\":{},\"wall_ms\":{:.3},\"threads\":{},\"trials_per_sec\":{},\"stop_reason\":\"{}\",\"truncated\":{},\"telemetry\":{}}}",
             self.trials,
             self.trials_executed,
             self.wall.as_secs_f64() * 1e3,
@@ -287,6 +288,12 @@ impl MonteCarlo {
                 let mut local = R::default();
                 for t in lo..hi {
                     uwb_obs::set_trial(t);
+                    // Arm the flight recorder with the trial's derived seed so
+                    // a worst-trial snapshot can be replayed standalone.
+                    uwb_obs::recorder::begin_trial(
+                        t,
+                        crate::rng::derive_trial_seed(self.master_seed, t),
+                    );
                     let mut rng = Rand::for_trial(self.master_seed, t);
                     trial(&mut state, t, &mut rng, &mut local);
                 }
@@ -505,7 +512,7 @@ mod tests {
     fn stats_formatting() {
         let (_, s) = toy_run(1, 100, 5);
         let json = s.to_json();
-        assert!(json.contains("\"schema\":\"uwb-telemetry-v1\""), "{json}");
+        assert!(json.contains("\"schema\":\"uwb-telemetry-v2\""), "{json}");
         assert!(json.contains("\"trials\":"), "{json}");
         assert!(json.contains("\"stop_reason\":\"target-reached\""), "{json}");
         assert!(json.contains("\"telemetry\":{"), "{json}");

@@ -13,16 +13,37 @@
 //!   width (a few dozen records), not 10,000 records.
 //!
 //! Run with: `cargo run --release --example piconet_city`
+//!
+//! Options:
+//!
+//! * `--users N` — total link count (default 10,000; rounded down to a
+//!   multiple of 10 links per cluster);
+//! * `--trace out.json` — export the round's span timeline as Chrome Trace
+//!   Event JSON (needs `--features obs-trace`; try `--users 1000` for a
+//!   timeline Perfetto loads comfortably).
 
 use std::time::Instant;
 use uwb::net::{plan_network, run_plan_threads, NetScenario, RecordSchedule};
 
+/// Extracts the value following `flag`, if present.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     // 1,000 clusters × 10 links on a ~620 m square grid: 20 m cluster
     // pitch, 3 m cluster radius, 1 m links, round-robin over all 14
     // channels, spectral probing off (planning diagnostic only).
-    let clusters = 1_000;
     let per_cluster = 10;
+    let users: usize = arg_value(&args, "--users")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let clusters = (users / per_cluster).max(1);
+    let trace_path = arg_value(&args, "--trace");
     let ebn0_db = 8.0;
     let mut sc = NetScenario::clustered_city(clusters, per_cluster, ebn0_db, 0x2005_0314);
     sc.rounds = 1;
@@ -69,6 +90,38 @@ fn main() {
         "aggregate goodput     {:>10.0} Mbit/s",
         report.aggregate_throughput_bps / 1e6
     );
+    // Percentile digests over the round (per-link SINR and goodput, plus
+    // per-decode bit errors) — the `uwb-telemetry-v2` quantile view.
+    for d in &report.stats.telemetry.digests {
+        println!(
+            "digest {:<22} n={:<6} p50={:<8} p95={:<8} p99={:<8} max={}",
+            d.name,
+            d.count,
+            d.quantile(0.50),
+            d.quantile(0.95),
+            d.quantile(0.99),
+            d.max
+        );
+    }
+    if !report.stats.telemetry.worst.is_empty() {
+        print!("\n{}", uwb::obs::recorder::render_report(&report.stats.telemetry.worst));
+    }
+    if let Some(path) = &trace_path {
+        if !uwb::obs::trace::enabled() {
+            eprintln!(
+                "warning: --trace {path}: this build records no spans; \
+                 rebuild with `--features obs-trace`"
+            );
+        } else {
+            let doc = uwb::obs::trace::export_chrome(&report.stats.telemetry.spans);
+            std::fs::write(path, doc).expect("write trace");
+            println!(
+                "\ntrace: {} span(s) ({} dropped) -> {path}",
+                report.stats.telemetry.spans.len(),
+                report.stats.telemetry.spans_dropped
+            );
+        }
+    }
     println!(
         "\nper-channel spatial grids keep plan enumeration near O(N.k); the\n\
          shared-waveform arena keeps round memory at the graph's overlap\n\

@@ -11,9 +11,13 @@
 #                             but informational — see EXPERIMENTS.md)
 #   scripts/check.sh obs      observability gate: builds the workspace with
 #                             AND without the obs feature, clippy with
-#                             -D warnings, and the allocation-regression
-#                             tests with telemetry enabled (the span/counter
-#                             warm path must stay at zero heap allocations)
+#                             -D warnings, the allocation-regression tests
+#                             with telemetry enabled AND with span timelines
+#                             on (`obs-trace`; the warm path must stay at
+#                             zero heap allocations in both), trace/recorder
+#                             thread-determinism in both feature configs,
+#                             the 1k-user city trace acceptance run, and a
+#                             trace-export smoke (`smoke --trace`)
 #   scripts/check.sh stream   streaming gate: chunk-size-invariance /
 #                             batch-parity / bounded-memory tests, the
 #                             allocation gate (covers the streamed trial),
@@ -67,9 +71,21 @@ obs() {
     cargo clippy -q --workspace --no-default-features -- -D warnings
     echo "== obs: zero-allocation warm path with telemetry enabled =="
     cargo test -q --test alloc_regression
+    echo "== obs: zero-allocation warm path with span timelines on =="
+    cargo test -q --test alloc_regression --features obs-trace
     echo "== obs: telemetry determinism + schema =="
     cargo test -q --test montecarlo_determinism
     cargo test -q --test telemetry_schema
+    echo "== obs: trace + flight-recorder determinism (obs, then obs-trace) =="
+    cargo test -q --test trace_determinism
+    cargo test -q --test trace_determinism --features obs-trace
+    cargo test -q -p uwb-obs --features obs-trace
+    echo "== obs: 1,000-user city round trace, 1/2/4/8-thread bit-parity =="
+    cargo test -q --release --test trace_determinism --features obs-trace -- --ignored
+    echo "== obs: span-timeline export (smoke --trace) =="
+    cargo build --release -p uwb-bench --features obs-trace --bin smoke
+    ./target/release/smoke --trace target/trace.json
+    test -s target/trace.json
     echo "== obs: feature matrix (precise Gaussian stream, f64 acquisition) =="
     cargo test -q -p uwb-sim --features precise
     cargo test -q -p uwb-phy --no-default-features

@@ -62,3 +62,9 @@ pub mod platform {
 pub mod net {
     pub use uwb_net::*;
 }
+
+/// Observability: telemetry snapshots, span timelines, the worst-trial
+/// flight recorder, and percentile digests.
+pub mod obs {
+    pub use uwb_obs::*;
+}

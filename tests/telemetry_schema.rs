@@ -1,4 +1,4 @@
-//! Schema gate for `uwb-telemetry-v1`: the hand-rolled `RunStats::to_json`
+//! Schema gate for `uwb-telemetry-v2`: the hand-rolled `RunStats::to_json`
 //! output must stay machine-parseable.
 //!
 //! The run report is rendered without serde (the repo vendors no JSON
@@ -61,7 +61,7 @@ fn run_stats_json_parses_and_matches_schema() {
         "top-level key set drifted"
     );
 
-    assert_eq!(field(o, "schema").as_str(), Some("uwb-telemetry-v1"));
+    assert_eq!(field(o, "schema").as_str(), Some("uwb-telemetry-v2"));
     let trials = field(o, "trials").as_num().expect("trials must be a number");
     assert!(trials >= 1.0 && trials.fract() == 0.0, "trials must be a whole count");
     let executed = field(o, "trials_executed").as_num().expect("number");
@@ -81,10 +81,11 @@ fn run_stats_json_parses_and_matches_schema() {
 
     // The embedded telemetry object is the deterministic form: stages carry
     // name + calls only (no wall-clock ns), events name + count, hists
-    // name/count/sum/bins.
+    // name/count/sum/bins, and (new in v2) quantiles
+    // name/count/p50/p95/p99/max.
     let telem = obj(field(o, "telemetry"));
     let tkeys: Vec<&str> = telem.iter().map(|(k, _)| k.as_str()).collect();
-    assert_eq!(tkeys, ["stages", "events", "hists"]);
+    assert_eq!(tkeys, ["stages", "events", "hists", "quantiles"]);
 
     let stages = field(telem, "stages").as_arr().expect("stages array");
     if uwb_obs::enabled() {
@@ -117,6 +118,32 @@ fn run_stats_json_parses_and_matches_schema() {
             bin_total += pair[1].as_num().expect("bin count");
         }
         assert_eq!(bin_total, count, "histogram bins must sum to its count");
+    }
+
+    // v2 quantile digests: every entry carries finite, ordered percentiles.
+    let quantiles = field(telem, "quantiles").as_arr().expect("quantiles array");
+    let mut saw_trial_bit_errors = false;
+    for q in quantiles {
+        let q = obj(q);
+        let keys: Vec<&str> = q.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["name", "count", "p50", "p95", "p99", "max"]);
+        let name = field(q, "name").as_str().expect("digest name");
+        saw_trial_bit_errors |= name == "trial_bit_errors";
+        assert!(field(q, "count").as_num().expect("number") >= 1.0);
+        let p50 = field(q, "p50").as_num().expect("p50 number");
+        let p95 = field(q, "p95").as_num().expect("p95 number");
+        let p99 = field(q, "p99").as_num().expect("p99 number");
+        let max = field(q, "max").as_num().expect("max number");
+        for v in [p50, p95, p99, max] {
+            assert!(v.is_finite() && v >= 0.0, "{name}: non-finite percentile");
+        }
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= max, "{name}: unordered percentiles");
+    }
+    if uwb_obs::enabled() {
+        assert!(
+            saw_trial_bit_errors,
+            "instrumented link run must report a trial_bit_errors digest"
+        );
     }
 }
 

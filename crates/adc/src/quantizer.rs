@@ -88,6 +88,21 @@ impl Quantizer {
         );
     }
 
+    /// [`Quantizer::quantize_scaled_into`] that *appends* to `out` instead
+    /// of replacing it (same per-sample arithmetic), so the batched runtime
+    /// can digitize straight into a flat multi-trial lane buffer.
+    pub fn quantize_scaled_append(&self, input: &[Complex], gain: f64, out: &mut Vec<Complex>) {
+        let half_levels = (self.levels() / 2) as f64;
+        uwb_dsp::simd::quantize_scaled_append(
+            input,
+            gain,
+            self.step(),
+            -half_levels,
+            half_levels - 1.0,
+            out,
+        );
+    }
+
     /// Quantizes to the integer code in `[-2^(b-1), 2^(b-1) - 1]`.
     pub fn quantize_code(&self, x: f64) -> i32 {
         let step = self.step();

@@ -23,7 +23,8 @@
 //! {
 //!   "schema": "uwb-dspbench-v1",
 //!   "kernels_us": { "<name>": <median-microseconds-per-call>, ... },
-//!   "throughput_tps": { "full_path": <trials/s>, "fast_path": <trials/s> },
+//!   "throughput_tps": { "full_path": <trials/s>, "fast_path": <trials/s>,
+//!                       "full_path_batched": <trials/s>, "fast_path_batched": <trials/s> },
 //!   "stage_ns_per_trial": { "stage:<name>": <ns-per-trial>, ... },
 //!   "fft_plans_built": <count>
 //! }
@@ -41,9 +42,12 @@ use uwb_bench::EXPERIMENT_SEED;
 use uwb_dsp::correlation::{circular_autocorrelation, cross_correlate_fft_into};
 use uwb_dsp::fft::{cached_plan, fft_convolve_real_into, fft_plans_built, Fft};
 use uwb_dsp::{Complex, DspScratch};
-use uwb_phy::Gen2Config;
-use uwb_platform::link::{LinkOutcome, LinkScenario, LinkWorker};
+use uwb_phy::{AcquisitionConfig, CoarseAcquisition, Gen2Config};
+use uwb_platform::link::{
+    BatchScratch, LinkOutcome, LinkScenario, LinkWorker, DEFAULT_STREAM_BLOCK,
+};
 use uwb_platform::ErrorCounter;
+use uwb_sim::montecarlo::resolve_batch;
 use uwb_sim::Rand;
 
 /// One measured kernel: name + median microseconds per call.
@@ -177,21 +181,55 @@ fn run_kernels() -> Vec<Kernel> {
         });
     }
 
+    // 6. Batched coarse acquisition at the stage-sweep shape: the template
+    //    spectrum is warmed once, then 8 records (one batch) are searched
+    //    against it — the per-batch amortization the batched runtime buys
+    //    over 8 independent acquisitions (which would each re-check the
+    //    memo under the bank's lock).
+    {
+        let tpl = noise_complex(1277, 8);
+        let acq = CoarseAcquisition::new(tpl, AcquisitionConfig::with_clock(2e9));
+        let records: Vec<Vec<Complex>> = (0..8).map(|i| noise_complex(2555, 9 + i)).collect();
+        let mut scratch = DspScratch::new();
+        out.push(Kernel {
+            name: "batched_acquisition_B8",
+            us_per_call: time_us(10, 15, || {
+                acq.warm(2555, 1277);
+                for rec in &records {
+                    let _ = acq.acquire_with(rec, 1277, &mut scratch);
+                }
+            }),
+        });
+    }
+
     out
+}
+
+/// The four end-to-end throughput figures plus the loop-wide FFT-plan
+/// count and the full-path stage profile.
+struct Throughput {
+    full_tps: f64,
+    fast_tps: f64,
+    full_batched_tps: f64,
+    fast_batched_tps: f64,
+    plans_built: u64,
+    telemetry: uwb_obs::Telemetry,
 }
 
 /// Single-threaded end-to-end trial throughput on the smoke scenario
 /// (AWGN, preamble_repeats = 2, Eb/N0 = 6 dB, 24-byte payload) — one
 /// worker driven directly, exactly what each Monte-Carlo thread executes.
 ///
-/// Returns `(full_tps, fast_tps, plans_built, telemetry)` where
-/// `plans_built` counts the FFT plans constructed over the whole section
-/// *including* warm-up — in the steady state this must equal the number of
-/// distinct transform sizes the link path touches (each size planned exactly
-/// once, never per trial), so the JSON number stays O(1) no matter how many
-/// trials run — and `telemetry` is the per-stage profile of the timed
-/// full-path loop (empty when the `obs` feature is off).
-fn run_throughput(trials: u64) -> (f64, f64, u64, uwb_obs::Telemetry) {
+/// Four loops: the unbatched full and fast (BER-only) paths, then the same
+/// two on the batched stage-sweep runtime at `UWB_BATCH` (default
+/// `DEFAULT_BATCH`) trials per batch. `plans_built` counts the FFT plans
+/// constructed over the whole section *including* warm-up — in the steady state this must equal the
+/// number of distinct transform sizes the link path touches (each size
+/// planned exactly once, never per trial), so the JSON number stays O(1)
+/// no matter how many trials run — and `telemetry` is the per-stage
+/// profile of the timed unbatched full-path loop (empty when the `obs`
+/// feature is off).
+fn run_throughput(trials: u64) -> Throughput {
     let config = Gen2Config {
         preamble_repeats: 2,
         ..Gen2Config::nominal_100mbps()
@@ -227,15 +265,76 @@ fn run_throughput(trials: u64) -> (f64, f64, u64, uwb_obs::Telemetry) {
     }
     let fast_tps = trials as f64 / t0.elapsed().as_secs_f64();
 
-    (full_tps, fast_tps, fft_plans_built() - plans_before, telemetry)
+    // Batched stage-sweep paths: `UWB_BATCH` (default [`DEFAULT_BATCH`])
+    // consecutive trials per sub-batch — the per-worker loop
+    // `MonteCarlo::run_batched` executes. The pinned baseline is generated
+    // with `UWB_BATCH` unset; the env override exists for B-sweep
+    // measurements (see EXPERIMENTS.md).
+    let batch = resolve_batch(None);
+    let mut scratch = BatchScratch::new();
+    let mut outcome = LinkOutcome::default();
+    worker.trial_batch_full_streamed(
+        &scenario,
+        24,
+        DEFAULT_STREAM_BLOCK,
+        0..batch.min(trials.max(1)),
+        &mut scratch,
+        &mut outcome,
+    );
+    let t0 = Instant::now();
+    let mut lo = 0;
+    while lo < trials {
+        let hi = (lo + batch).min(trials);
+        worker.trial_batch_full_streamed(
+            &scenario,
+            24,
+            DEFAULT_STREAM_BLOCK,
+            lo..hi,
+            &mut scratch,
+            &mut outcome,
+        );
+        lo = hi;
+    }
+    let full_batched_tps = trials as f64 / t0.elapsed().as_secs_f64();
+
+    let mut counter = ErrorCounter::default();
+    worker.trial_batch_ber_streamed(
+        &scenario,
+        24,
+        DEFAULT_STREAM_BLOCK,
+        0..batch.min(trials.max(1)),
+        &mut scratch,
+        &mut counter,
+    );
+    let t0 = Instant::now();
+    let mut lo = 0;
+    while lo < trials {
+        let hi = (lo + batch).min(trials);
+        worker.trial_batch_ber_streamed(
+            &scenario,
+            24,
+            DEFAULT_STREAM_BLOCK,
+            lo..hi,
+            &mut scratch,
+            &mut counter,
+        );
+        lo = hi;
+    }
+    let fast_batched_tps = trials as f64 / t0.elapsed().as_secs_f64();
+
+    Throughput {
+        full_tps,
+        fast_tps,
+        full_batched_tps,
+        fast_batched_tps,
+        plans_built: fft_plans_built() - plans_before,
+        telemetry,
+    }
 }
 
 fn render_json(
     kernels: &[Kernel],
-    full_tps: f64,
-    fast_tps: f64,
-    plans_built: u64,
-    telemetry: &uwb_obs::Telemetry,
+    tp: &Throughput,
     trials: u64,
 ) -> String {
     let mut s = String::new();
@@ -248,21 +347,29 @@ fn render_json(
     }
     s.push_str("  },\n");
     s.push_str("  \"throughput_tps\": {\n");
-    s.push_str(&format!("    \"full_path\": {full_tps:.1},\n"));
-    s.push_str(&format!("    \"fast_path\": {fast_tps:.1}\n"));
+    s.push_str(&format!("    \"full_path\": {:.1},\n", tp.full_tps));
+    s.push_str(&format!("    \"fast_path\": {:.1},\n", tp.fast_tps));
+    s.push_str(&format!(
+        "    \"full_path_batched\": {:.1},\n",
+        tp.full_batched_tps
+    ));
+    s.push_str(&format!(
+        "    \"fast_path_batched\": {:.1}\n",
+        tp.fast_batched_tps
+    ));
     s.push_str("  },\n");
     // Informational stage profile ("stage:"-prefixed keys are skipped by the
     // regression checker). ns per trial, not per call, so stages that run
     // more than once per trial still sum to the trial budget.
     s.push_str("  \"stage_ns_per_trial\": {\n");
-    let stages = &telemetry.stages;
+    let stages = &tp.telemetry.stages;
     for (i, st) in stages.iter().enumerate() {
         let comma = if i + 1 == stages.len() { "" } else { "," };
         let per_trial = st.ns as f64 / trials.max(1) as f64;
         s.push_str(&format!("    \"stage:{}\": {per_trial:.0}{comma}\n", st.name));
     }
     s.push_str("  },\n");
-    s.push_str(&format!("  \"fft_plans_built\": {plans_built}\n"));
+    s.push_str(&format!("  \"fft_plans_built\": {}\n", tp.plans_built));
     s.push_str("}\n");
     s
 }
@@ -273,7 +380,10 @@ fn render_json(
 fn metric_policy(key: &str) -> MetricPolicy {
     if key == "schema" || key == "fft_plans_built" || key.starts_with("stage:") {
         MetricPolicy::Skip
-    } else if matches!(key, "full_path" | "fast_path") {
+    } else if matches!(
+        key,
+        "full_path" | "fast_path" | "full_path_batched" | "fast_path_batched"
+    ) {
         MetricPolicy::InfoHigherBetter
     } else {
         MetricPolicy::Gate
@@ -324,19 +434,27 @@ fn main() -> ExitCode {
     // Throughput first, on a cold plan cache, so `fft_plans_built` reports
     // exactly how many distinct transform sizes the link path planned (each
     // once). The kernel section would otherwise pre-populate the cache.
-    let (full_tps, fast_tps, plans_built, telemetry) = run_throughput(trials);
+    let tp = run_throughput(trials);
     let kernels = run_kernels();
-    let json = render_json(&kernels, full_tps, fast_tps, plans_built, &telemetry, trials);
+    let json = render_json(&kernels, &tp, trials);
 
     for k in &kernels {
         println!("{:<34} {:>10.2} µs/call", k.name, k.us_per_call);
     }
-    println!("{:<34} {:>10.1} trials/s (1 thread)", "full_path", full_tps);
-    println!("{:<34} {:>10.1} trials/s (1 thread)", "fast_path", fast_tps);
-    println!("{:<34} {:>10}", "fft_plans_built", plans_built);
+    println!("{:<34} {:>10.1} trials/s (1 thread)", "full_path", tp.full_tps);
+    println!("{:<34} {:>10.1} trials/s (1 thread)", "fast_path", tp.fast_tps);
+    println!(
+        "{:<34} {:>10.1} trials/s (1 thread, B={})",
+        "full_path_batched", tp.full_batched_tps, resolve_batch(None)
+    );
+    println!(
+        "{:<34} {:>10.1} trials/s (1 thread, B={})",
+        "fast_path_batched", tp.fast_batched_tps, resolve_batch(None)
+    );
+    println!("{:<34} {:>10}", "fft_plans_built", tp.plans_built);
 
     // Per-stage profile of the full-path loop (uwb-obs stage timers).
-    let profile = uwb_platform::report::stage_table(&telemetry);
+    let profile = uwb_platform::report::stage_table(&tp.telemetry);
     if !profile.is_empty() {
         println!("\nfull-path stage profile ({trials} trials):");
         print!("{profile}");

@@ -9,6 +9,8 @@
 //!   and a packed real-input convolution path
 //! * [`DspScratch`] — reusable buffer arena for allocation-free steady-state
 //!   kernels
+//! * [`batch::BatchArena`] — flat structure-of-arrays lane storage for the
+//!   batched stage-sweep trial runtime
 //! * [`Goertzel`] — O(N) single-bin DFT for cheap narrowband watching
 //! * [`FirFilter`] — windowed-sinc FIR design (lowpass/highpass/bandpass)
 //! * [`Biquad`]/[`BiquadCascade`] — IIR sections including the tunable notch
@@ -41,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod complex;
 pub mod correlation;
 pub mod fft;

@@ -85,6 +85,21 @@ pub fn quantize_scaled_into(
     out: &mut Vec<Complex>,
 ) {
     out.clear();
+    quantize_scaled_append(input, gain, step, lo, hi, out);
+}
+
+/// [`quantize_scaled_into`] that *appends* to `out` instead of replacing
+/// it — the form used by the batched runtime to digitize one trial's lane
+/// directly into a flat [`crate::batch::BatchArena`] buffer. Sample
+/// arithmetic is identical.
+pub fn quantize_scaled_append(
+    input: &[Complex],
+    gain: f64,
+    step: f64,
+    lo: f64,
+    hi: f64,
+    out: &mut Vec<Complex>,
+) {
     out.reserve(input.len());
     out.extend(input.iter().map(|&z| {
         let kr = (z.re * gain / step).floor().max(lo).min(hi);

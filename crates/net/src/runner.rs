@@ -34,7 +34,7 @@ use uwb_dsp::scratch::DspScratch;
 use uwb_dsp::stream::accumulate_scaled;
 use uwb_dsp::Complex;
 use uwb_phy::Gen2Config;
-use uwb_platform::link::{CleanSynthesis, LinkWorker};
+use uwb_platform::link::{BatchScratch, CleanSynthesis, LinkWorker};
 use uwb_platform::metrics::ErrorCounter;
 use uwb_sim::montecarlo::{Merge, MonteCarlo};
 use uwb_sim::stream::StreamingAwgn;
@@ -136,6 +136,10 @@ pub struct NetWorker {
     power: Vec<f64>,
     mixed: Vec<Complex>,
     scratch: DspScratch,
+    /// Shared batched-runtime scratch: every pooled worker digitizes into
+    /// this one arena at decode time (one warm buffer for the whole pool
+    /// instead of one per `RxState`).
+    batch: BatchScratch,
 }
 
 impl NetWorker {
@@ -170,6 +174,7 @@ impl NetWorker {
             power: vec![0.0; n],
             mixed: Vec::new(),
             scratch: DspScratch::new(),
+            batch: BatchScratch::new(),
         }
     }
 
@@ -262,11 +267,12 @@ impl NetWorker {
                     );
                 }
                 let _t = uwb_obs::span!("net_rx");
-                rx.count_errors_in_record_with_payload(
+                rx.count_errors_in_record_with_payload_batched(
                     config,
                     self.arena.record(v),
                     slot0_start,
                     &self.payloads[v],
+                    &mut self.batch,
                     &mut stats.ber,
                 )
             } else {
@@ -290,11 +296,12 @@ impl NetWorker {
                     );
                 }
                 let _t = uwb_obs::span!("net_rx");
-                rx.count_errors_in_record_with_payload(
+                rx.count_errors_in_record_with_payload_batched(
                     config,
                     &self.mixed,
                     slot0_start,
                     &self.payloads[v],
+                    &mut self.batch,
                     &mut stats.ber,
                 )
             };

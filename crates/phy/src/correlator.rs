@@ -153,10 +153,7 @@ impl CorrelatorBank {
         out: &mut Vec<Complex>,
     ) -> CorrelatorStats {
         let m = self.template.len();
-        // Below this work estimate the direct form wins (and stays exactly
-        // bit-identical to `run`, which small unit tests rely on).
-        const FFT_THRESHOLD_MACS: usize = 1 << 15;
-        let use_fft = m > 1 && n_phases.saturating_mul(m) >= FFT_THRESHOLD_MACS;
+        let use_fft = m > 1 && n_phases.saturating_mul(m) >= Self::FFT_THRESHOLD_MACS;
         out.clear();
         if !use_fft {
             out.reserve(n_phases);
@@ -184,6 +181,77 @@ impl CorrelatorBank {
         }
     }
 
+    /// Below this work estimate the direct form wins (and stays exactly
+    /// bit-identical to `run`, which small unit tests rely on).
+    const FFT_THRESHOLD_MACS: usize = 1 << 15;
+
+    /// Pre-builds the memoized matched-template spectrum for the prefix
+    /// sweep [`CorrelatorBank::run_prefix_into`] would run over a signal of
+    /// `signal_len` samples and `n_phases` candidate phases — a no-op when
+    /// that sweep would take the direct (non-FFT) form or when the spectrum
+    /// for the implied transform size is already cached. The batched
+    /// acquisition sweep calls this once per batch so no lane pays the
+    /// template FFT inside its timed search; results are identical either
+    /// way (the memo would otherwise be built lazily on first use).
+    pub fn warm_prefix(&self, signal_len: usize, n_phases: usize) {
+        let m = self.template.len();
+        if !(m > 1 && n_phases.saturating_mul(m) >= Self::FFT_THRESHOLD_MACS) {
+            return;
+        }
+        let needed = (n_phases + m - 1).min(signal_len);
+        if needed < m {
+            return;
+        }
+        let n = next_pow2(needed + m - 1);
+        if cfg!(feature = "fast-acq") {
+            self.ensure_spectrum32(n);
+        } else {
+            self.ensure_spectrum(n);
+        }
+    }
+
+    /// (Re)builds the cached f64 template spectrum for transform size `n`.
+    fn ensure_spectrum(&self, n: usize) {
+        let mut cache = self.tpl_spectrum.borrow_mut();
+        if cache.as_ref().is_none_or(|c| c.n != n) {
+            let fft = cached_plan(n);
+            let mut spec = vec![Complex::ZERO; n];
+            for (o, t) in spec.iter_mut().zip(self.template.iter().rev()) {
+                *o = t.conj();
+            }
+            fft.forward_in_place(&mut spec);
+            *cache = Some(TplSpectrum { n, spec });
+        }
+    }
+
+    /// (Re)builds the cached f32 template spectrum for transform size `n`,
+    /// with the inverse transform's 1/N folded in (see
+    /// [`CorrelatorBank::correlate_prefix_fft32`]).
+    fn ensure_spectrum32(&self, n: usize) {
+        let mut cache = self.tpl_spectrum32.borrow_mut();
+        if cache.as_ref().is_none_or(|c| c.n != n) {
+            let fft = cached_plan32(n);
+            let mut re = vec![0.0f32; n];
+            let mut im = vec![0.0f32; n];
+            for (i, t) in self.template.iter().rev().enumerate() {
+                re[i] = t.re as f32;
+                im[i] = -t.im as f32; // conj
+            }
+            fft.forward_in_place(&mut re, &mut im);
+            // Fold the inverse transform's 1/N into the cached spectrum
+            // so the hot path can use the unscaled inverse (one fewer
+            // pass over the lanes per acquisition).
+            let inv_n = 1.0f32 / n as f32;
+            for x in re.iter_mut() {
+                *x *= inv_n;
+            }
+            for x in im.iter_mut() {
+                *x *= inv_n;
+            }
+            *cache = Some(TplSpectrum32 { n, re, im });
+        }
+    }
+
     /// FFT path of [`CorrelatorBank::run_prefix_into`]: correlate against the
     /// memoized template spectrum, writing `n_phases` outputs (zero-filled
     /// past the last valid lag).
@@ -203,19 +271,8 @@ impl CorrelatorBank {
         }
         let n_valid = needed - m + 1;
         let n = next_pow2(needed + m - 1);
-        {
-            // (Re)build the cached template spectrum when the size changes.
-            let mut cache = self.tpl_spectrum.borrow_mut();
-            if cache.as_ref().is_none_or(|c| c.n != n) {
-                let fft = cached_plan(n);
-                let mut spec = vec![Complex::ZERO; n];
-                for (o, t) in spec.iter_mut().zip(self.template.iter().rev()) {
-                    *o = t.conj();
-                }
-                fft.forward_in_place(&mut spec);
-                *cache = Some(TplSpectrum { n, spec });
-            }
-        }
+        // (Re)build the cached template spectrum when the size changes.
+        self.ensure_spectrum(n);
         let cache = self.tpl_spectrum.borrow();
         let spec = &cache
             .as_ref()
@@ -256,30 +313,7 @@ impl CorrelatorBank {
         }
         let n_valid = needed - m + 1;
         let n = next_pow2(needed + m - 1);
-        {
-            let mut cache = self.tpl_spectrum32.borrow_mut();
-            if cache.as_ref().is_none_or(|c| c.n != n) {
-                let fft = cached_plan32(n);
-                let mut re = vec![0.0f32; n];
-                let mut im = vec![0.0f32; n];
-                for (i, t) in self.template.iter().rev().enumerate() {
-                    re[i] = t.re as f32;
-                    im[i] = -t.im as f32; // conj
-                }
-                fft.forward_in_place(&mut re, &mut im);
-                // Fold the inverse transform's 1/N into the cached spectrum
-                // so the hot path can use the unscaled inverse (one fewer
-                // pass over the lanes per acquisition).
-                let inv_n = 1.0f32 / n as f32;
-                for x in re.iter_mut() {
-                    *x *= inv_n;
-                }
-                for x in im.iter_mut() {
-                    *x *= inv_n;
-                }
-                *cache = Some(TplSpectrum32 { n, re, im });
-            }
-        }
+        self.ensure_spectrum32(n);
         let cache = self.tpl_spectrum32.borrow();
         let tpl = cache
             .as_ref()

@@ -188,6 +188,23 @@ impl Gen2Receiver {
         self.quantizer.quantize_scaled_into(samples, gain, out);
     }
 
+    /// [`Gen2Receiver::digitize_into`] that *appends* the digitized record
+    /// to `out` instead of replacing it — the batched runtime's form, which
+    /// digitizes each trial's lane straight into a flat
+    /// [`uwb_dsp::batch::BatchArena`] buffer. Per-sample arithmetic, AGC
+    /// gain, and telemetry are identical to the replacing form.
+    pub fn digitize_append(&self, samples: &[Complex], out: &mut Vec<Complex>) {
+        let p = uwb_dsp::simd::mean_power(samples);
+        if p <= 0.0 {
+            out.extend_from_slice(samples);
+            return;
+        }
+        let gain = 0.355 / p.sqrt();
+        uwb_obs::gauge!("agc_gain_milli").set((gain * 1000.0) as u64);
+        uwb_obs::note!("agc_gain_milli", (gain * 1000.0) as u64);
+        self.quantizer.quantize_scaled_append(samples, gain, out);
+    }
+
     /// Runs the complete receive chain on a complex-baseband record.
     ///
     /// # Errors
@@ -238,16 +255,49 @@ impl Gen2Receiver {
         &self,
         state: &mut RxState,
     ) -> Result<ReceivedPacket, PhyError> {
-        // --- Coarse acquisition over one preamble period of phases ---
+        let digitized = std::mem::take(&mut state.digitized);
+        let out = self.receive_packet_from_record(&digitized, state);
+        state.digitized = digitized;
+        out
+    }
+
+    /// [`Gen2Receiver::receive_packet_predigitized`] reading the digitized
+    /// record from a caller-owned slice (e.g. one lane of a batched trial
+    /// arena) instead of `state.digitized` — bit-identical results.
+    ///
+    /// The same memo caveat applies: `state.chanest_memo` must refer to
+    /// *this* record (the caller just ran a known-timing pass on it) or be
+    /// `None`; [`Gen2Receiver::payload_statistics_predigitized_with`]
+    /// re-establishes that invariant at its entry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gen2Receiver::receive_packet`].
+    pub fn receive_packet_from_record(
+        &self,
+        digitized: &[Complex],
+        state: &mut RxState,
+    ) -> Result<ReceivedPacket, PhyError> {
+        let acq = self.acquire_record(digitized, state);
+        self.receive_packet_acquired(digitized, &acq, state)
+    }
+
+    /// The coarse-acquisition front of [`receive_packet_from_record`]: one
+    /// preamble period of candidate phases correlated against the cached
+    /// matched-template spectrum. Split out so the batched runtime can sweep
+    /// acquisition across a whole batch of digitized lanes (amortizing the
+    /// template spectrum via [`Gen2Receiver::warm_acquisition`]) before any
+    /// lane's frame is decoded. Emits the same forensics notes and the
+    /// `acq_miss` event the fused path emits.
+    ///
+    /// [`receive_packet_from_record`]: Gen2Receiver::receive_packet_from_record
+    pub fn acquire_record(&self, digitized: &[Complex], state: &mut RxState) -> AcquisitionResult {
         let sps = self.config.samples_per_slot();
         let period = self.config.preamble_length() * sps;
         let acq = {
             let _t = uwb_obs::span!("rx_acquisition");
-            self.acquisition.acquire_with(
-                &state.digitized,
-                period + CIR_PRE_SAMPLES,
-                &mut state.scratch,
-            )
+            self.acquisition
+                .acquire_with(digitized, period + CIR_PRE_SAMPLES, &mut state.scratch)
         };
         // Flight-recorder forensics: where the correlator locked and how
         // confidently (milli-units of the normalized [0,1] peak metric).
@@ -255,16 +305,46 @@ impl Gen2Receiver {
         uwb_obs::note!("acq_metric_milli", (acq.metric * 1000.0) as u64);
         if !acq.detected {
             uwb_obs::event!("acq_miss");
+        }
+        acq
+    }
+
+    /// The frame-decode back half of [`receive_packet_from_record`], given
+    /// an acquisition result obtained from [`Gen2Receiver::acquire_record`]
+    /// over the *same* digitized record. Bit-identical to the fused path;
+    /// the miss forensics were already emitted at acquisition time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gen2Receiver::receive_packet`].
+    ///
+    /// [`receive_packet_from_record`]: Gen2Receiver::receive_packet_from_record
+    pub fn receive_packet_acquired(
+        &self,
+        digitized: &[Complex],
+        acq: &AcquisitionResult,
+        state: &mut RxState,
+    ) -> Result<ReceivedPacket, PhyError> {
+        if !acq.detected {
             return Err(PhyError::SyncFailed);
         }
-
-        let (header, payload) = self.decode_frame_at(state, acq.offset)?;
+        let (header, payload) = self.decode_frame_on(digitized, state, acq.offset)?;
         Ok(ReceivedPacket {
             payload,
             header,
-            acquisition: acq,
+            acquisition: *acq,
             estimate: state.estimate.clone(),
         })
+    }
+
+    /// Pre-builds the cached matched-template spectrum for the transform
+    /// size acquisition will use on a record of `record_len` samples, so a
+    /// batched acquisition sweep pays the template FFT once per batch
+    /// instead of lazily inside the first lane's timed search. Identical
+    /// results either way — this only moves when the memo is built.
+    pub fn warm_acquisition(&self, record_len: usize) {
+        let period = self.config.preamble_length() * self.config.samples_per_slot();
+        self.acquisition.warm(record_len, period + CIR_PRE_SAMPLES);
     }
 
     /// Channel estimation + RAKE rebuild around the acquisition lock at
@@ -272,6 +352,15 @@ impl Gen2Receiver {
     /// decode paths). Returns `est_start`, the base sample index the RAKE
     /// finger delays are relative to.
     fn prepare_rake_at(&self, state: &mut RxState, offset: usize) -> usize {
+        let digitized = std::mem::take(&mut state.digitized);
+        let est_start = self.prepare_rake_on(&digitized, state, offset);
+        state.digitized = digitized;
+        est_start
+    }
+
+    /// [`Gen2Receiver::prepare_rake_at`] reading the digitized record from
+    /// a caller-owned slice.
+    fn prepare_rake_on(&self, digitized: &[Complex], state: &mut RxState, offset: usize) -> usize {
         let period = self.config.preamble_length() * self.config.samples_per_slot();
         let est_start = offset.saturating_sub(CIR_PRE_SAMPLES);
         if state.chanest_memo == Some(offset) {
@@ -284,7 +373,7 @@ impl Gen2Receiver {
         {
             let _t = uwb_obs::span!("rx_chanest");
             estimate_cir_into(
-                &state.digitized,
+                digitized,
                 &self.preamble_template,
                 est_start,
                 CIR_WINDOW,
@@ -342,8 +431,22 @@ impl Gen2Receiver {
         state: &mut RxState,
         offset: usize,
     ) -> Result<(Header, Vec<u8>), PhyError> {
+        let digitized = std::mem::take(&mut state.digitized);
+        let out = self.decode_frame_on(&digitized, state, offset);
+        state.digitized = digitized;
+        out
+    }
+
+    /// [`Gen2Receiver::decode_frame_at`] reading the digitized record from
+    /// a caller-owned slice (the batched runtime's arena lanes).
+    fn decode_frame_on(
+        &self,
+        digitized: &[Complex],
+        state: &mut RxState,
+        offset: usize,
+    ) -> Result<(Header, Vec<u8>), PhyError> {
         let sps = self.config.samples_per_slot();
-        let est_start = self.prepare_rake_at(state, offset);
+        let est_start = self.prepare_rake_on(digitized, state, offset);
 
         // --- Matched filter + RAKE ---
         // The matched filter is evaluated lazily at the finger delays of
@@ -353,7 +456,6 @@ impl Gen2Receiver {
         state
             .rake
             .rebuild_from_estimate(&state.estimate, self.config.rake_fingers, &mut state.finger_idx);
-        let digitized = &state.digitized;
         let rake = &state.rake;
 
         // Slot s of the frame has its pulse starting at offset + s*sps;
@@ -575,8 +677,36 @@ impl Gen2Receiver {
             self.digitize_into(samples, &mut state.digitized);
             state.chanest_memo = None;
         }
+        let digitized = std::mem::take(&mut state.digitized);
+        self.payload_statistics_predigitized_with(&digitized, slot0_start, payload_len, state, out);
+        state.digitized = digitized;
+    }
+
+    /// The chanest → RAKE → demodulate back half of
+    /// [`Gen2Receiver::payload_statistics_known_timing_with`], reading an
+    /// already-digitized record from a caller-owned slice (one lane of the
+    /// batched runtime's digitized arena; produce it with
+    /// [`Gen2Receiver::digitize_append`] under the caller's own
+    /// `rx_agc_adc` span). Bit-identical to the fused form — digitization
+    /// and channel estimation are pure functions of the record.
+    ///
+    /// Resets `state.chanest_memo` at entry (the record is externally
+    /// supplied, so any memoized estimate may belong to a different
+    /// record), then leaves the memo referring to this record — so a
+    /// following [`Gen2Receiver::receive_packet_from_record`] on the *same*
+    /// record skips the duplicate channel estimate exactly like the fused
+    /// full-trial sequence.
+    pub fn payload_statistics_predigitized_with(
+        &self,
+        digitized: &[Complex],
+        slot0_start: usize,
+        payload_len: usize,
+        state: &mut RxState,
+        out: &mut Vec<Complex>,
+    ) {
+        state.chanest_memo = None;
         let sps = self.config.samples_per_slot();
-        let est_start = self.prepare_rake_at(state, slot0_start);
+        let est_start = self.prepare_rake_on(digitized, state, slot0_start);
         let _t_rake = uwb_obs::span!("rx_rake");
         state
             .rake
@@ -584,7 +714,6 @@ impl Gen2Receiver {
         let preamble_slots = self.config.preamble_length() * self.config.preamble_repeats;
         let payload_slot0 = preamble_slots + SFD_SLOTS + header_slot_count(&self.config);
         let n_payload = payload_slot_count(payload_len, &self.config);
-        let digitized = &state.digitized;
         let rake = &state.rake;
         out.clear();
         out.extend((0..n_payload).map(|k| {
@@ -924,5 +1053,64 @@ mod tests {
         let mut cfg = Gen2Config::nominal_100mbps();
         cfg.rake_fingers = 0;
         assert!(Gen2Receiver::new(cfg).is_err());
+    }
+
+    #[test]
+    fn stage_split_apis_match_fused_path_bitwise() {
+        // digitize_append + payload_statistics_predigitized_with +
+        // receive_packet_from_record (the batched stage-sweep sequence)
+        // must reproduce the fused known-timing + predigitized sequence
+        // bit-for-bit.
+        let cfg = Gen2Config::nominal_100mbps();
+        let (tx, rx) = link(&cfg);
+        let payload = vec![0x3Cu8; 32];
+        let burst = tx.transmit_packet(&payload).unwrap();
+        let mut rng = Rand::new(9);
+        let p = uwb_dsp::complex::mean_power(&burst.samples);
+        let noisy = add_awgn_complex(&burst.samples, p / 2.0, &mut rng);
+        let slot0 = burst.slot0_center - tx.pulse().len() / 2;
+
+        // Reference: the fused per-trial sequence (trial_full's shape).
+        let mut fused = RxState::new();
+        let mut want_stats = Vec::new();
+        rx.payload_statistics_known_timing_with(
+            &noisy,
+            slot0,
+            payload.len(),
+            &mut fused,
+            &mut want_stats,
+        );
+        let want_pkt = rx.receive_packet_predigitized(&mut fused).unwrap();
+
+        // Stage-split: digitize into an external lane, then run the back
+        // half and the acquisition pass from that lane.
+        let mut lane = vec![Complex::ONE; 7]; // junk prefix: append semantics
+        rx.digitize_append(&noisy, &mut lane);
+        let digitized = &lane[7..];
+        assert_eq!(digitized, &fused.digitized[..], "digitize_append parity");
+        let mut split = RxState::new();
+        let mut got_stats = Vec::new();
+        rx.payload_statistics_predigitized_with(
+            digitized,
+            slot0,
+            payload.len(),
+            &mut split,
+            &mut got_stats,
+        );
+        assert_eq!(
+            got_stats
+                .iter()
+                .map(|z| (z.re.to_bits(), z.im.to_bits()))
+                .collect::<Vec<_>>(),
+            want_stats
+                .iter()
+                .map(|z| (z.re.to_bits(), z.im.to_bits()))
+                .collect::<Vec<_>>()
+        );
+        let got_pkt = rx.receive_packet_from_record(digitized, &mut split).unwrap();
+        assert_eq!(got_pkt.payload, want_pkt.payload);
+        assert_eq!(got_pkt.header, want_pkt.header);
+        assert_eq!(got_pkt.acquisition, want_pkt.acquisition);
+        assert_eq!(got_pkt.estimate, want_pkt.estimate);
     }
 }

@@ -25,16 +25,18 @@
 //! * results are bit-identical for any worker thread count (`UWB_THREADS`).
 
 use crate::metrics::ErrorCounter;
+use std::ops::Range;
+use uwb_dsp::batch::BatchArena;
 use uwb_dsp::stream::BlockProcessor;
 use uwb_dsp::Complex;
 use uwb_phy::packet::{decode_payload_bits_into, reference_payload_bits_into};
 use uwb_phy::{
-    Burst, FrameScratch, FrameSlots, Gen2Config, Gen2Receiver, Gen2Transmitter, PhyError,
-    RxState, SpectralMonitor,
+    AcquisitionResult, Burst, FrameScratch, FrameSlots, Gen2Config, Gen2Receiver, Gen2Transmitter,
+    PhyError, RxState, SpectralMonitor,
 };
 use uwb_rf::TunableNotch;
 use uwb_sim::awgn::add_awgn_complex_in_place;
-use uwb_sim::montecarlo::{Merge, MonteCarlo, RunStats, StopReason};
+use uwb_sim::montecarlo::{resolve_batch, Merge, MonteCarlo, RunStats, StopReason};
 use uwb_sim::stream::{StreamingAwgn, StreamingChannel, StreamingInterferer};
 use uwb_sim::sv_channel::{ChannelModel, ChannelRealization, Tap};
 use uwb_sim::{Interferer, Rand};
@@ -232,6 +234,47 @@ pub struct CleanSynthesis {
     pub awgn_rng: Rand,
 }
 
+/// Structure-of-arrays scratch for one batch of stage-sweep trials.
+///
+/// The batched runtime holds all B in-flight waveforms in two flat
+/// [`BatchArena`]s (impaired records, then digitized records) plus
+/// per-trial sidecar vectors (synthesis metadata, payload snapshots,
+/// acquisition results). One instance lives next to each [`LinkWorker`]
+/// and is reused across batches: `reset` keeps every buffer's capacity, so
+/// warm batches run allocation-free on the nominal path (enforced by the
+/// umbrella crate's counting-allocator gate).
+#[derive(Default)]
+pub struct BatchScratch {
+    /// Impaired waveform lanes, one per trial in the batch.
+    records: BatchArena,
+    /// Post-AGC/ADC digitized lanes, one per trial in the batch.
+    digitized: BatchArena,
+    /// Per-trial synthesis metadata (slot-0 start, calibrated N0, AWGN RNG).
+    clean: Vec<CleanSynthesis>,
+    /// Per-trial payload snapshots. The outer vector only ever grows (to
+    /// the largest batch seen); inner buffers are cleared and refilled in
+    /// place, so steady-state batches never allocate here.
+    payloads: Vec<Vec<u8>>,
+    /// Per-trial acquisition results (full-path batches only).
+    acq: Vec<AcquisitionResult>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers warm to their high-water marks over the
+    /// first batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all per-batch state, keeping every buffer's capacity.
+    fn reset(&mut self) {
+        self.records.clear();
+        self.digitized.clear();
+        self.clean.clear();
+        self.acq.clear();
+    }
+}
+
 /// Per-worker cached state: everything that does not depend on the trial
 /// index is built once per worker thread and reused across trials. The old
 /// runners rebuilt the transmitter/receiver (and, per trial, the spectral
@@ -366,14 +409,25 @@ impl LinkWorker {
     /// monitor needs the whole record — both synthesis paths therefore run
     /// it as a batch pass after assembly.
     fn apply_notch(&mut self, fs: uwb_sim::time::SampleRate) {
+        // `mem::take` detaches the record so the lane variant can borrow it
+        // alongside `&mut self`; swap-restore, no allocation.
+        let mut samples = std::mem::take(&mut self.samples);
+        self.apply_notch_lane(fs, &mut samples);
+        self.samples = samples;
+    }
+
+    /// [`apply_notch`](Self::apply_notch) over an externally owned record —
+    /// one lane of the batched arena. Same monitor/tune/filter sequence; the
+    /// filtered output is copied back in place (the record length never
+    /// changes through the notch).
+    fn apply_notch_lane(&mut self, fs: uwb_sim::time::SampleRate, record: &mut [Complex]) {
         let _t = uwb_obs::span!("notch");
-        let report = self.monitor.analyze(&self.samples, fs.as_hz());
+        let report = self.monitor.analyze(record, fs.as_hz());
         if report.detected {
             uwb_obs::event!("notch_retune", report.frequency.as_hz() as u64);
             self.notch.tune(report.frequency);
-            let filtered = self.notch.process(&self.samples);
-            self.samples.clear();
-            self.samples.extend_from_slice(&filtered);
+            let filtered = self.notch.process(record);
+            record.copy_from_slice(&filtered);
         }
     }
 
@@ -458,6 +512,26 @@ impl LinkWorker {
         rng: &mut Rand,
         record: &mut Vec<Complex>,
     ) -> CleanSynthesis {
+        record.clear();
+        self.synthesize_clean_streamed_append(scenario, payload_len, block_len, rng, record)
+    }
+
+    /// [`synthesize_clean_streamed_record`](Self::synthesize_clean_streamed_record)
+    /// that *appends* the record after whatever `record` already holds
+    /// instead of replacing it. This is the lane builder for the batched
+    /// structure-of-arrays runtime: B trials' records live back-to-back in
+    /// one flat arena buffer, each built by one call at its own base offset.
+    /// The returned [`CleanSynthesis::slot0_start`] stays relative to this
+    /// trial's own record (the lane), not the arena. Identical RNG schedule
+    /// and sample values to the replacing variant.
+    pub fn synthesize_clean_streamed_append(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        block_len: usize,
+        rng: &mut Rand,
+        record: &mut Vec<Complex>,
+    ) -> CleanSynthesis {
         let config = &scenario.config;
         {
             let _t = uwb_obs::span!("tx");
@@ -496,14 +570,14 @@ impl LinkWorker {
 
         let block_len = block_len.max(1);
         let n = self.burst.samples.len();
-        record.clear();
+        let base = record.len();
         record.reserve(n + self.stream_channel.tail_len());
         let scratch = self.rx_state.scratch();
         let mut start = 0;
         while start < n {
             let end = (start + block_len).min(n);
             record.extend_from_slice(&self.burst.samples[start..end]);
-            let block = &mut record[start..end];
+            let block = &mut record[base + start..base + end];
             {
                 let _t = uwb_obs::span!("channel");
                 self.stream_channel.process_block(block, scratch);
@@ -522,8 +596,8 @@ impl LinkWorker {
             let _t = uwb_obs::span!("channel");
             self.stream_channel.flush_into(record, scratch);
         }
-        if record.len() > n {
-            let tail = &mut record[n..];
+        if record.len() > base + n {
+            let tail = &mut record[base + n..];
             if let Some(src) = interferer.as_mut() {
                 let _t = uwb_obs::span!("interferer");
                 src.process_block(tail, scratch);
@@ -643,6 +717,76 @@ impl LinkWorker {
         self.count_errors_in_record(config, record, slot0_start, counter)
     }
 
+    /// [`count_errors_in_record_with_payload`](Self::count_errors_in_record_with_payload)
+    /// routed through the shared batched scratch: the AGC/ADC pass digitizes
+    /// the record into a scratch lane, then the predigitized back half
+    /// decodes from it. Same stage arithmetic and telemetry as the fused
+    /// path — bit-identical counters — with the digitized buffer owned by
+    /// the caller's [`BatchScratch`] instead of `RxState`, so a pooled
+    /// worker (the network simulator's) shares one arena across every link
+    /// it decodes for.
+    pub fn count_errors_in_record_with_payload_batched(
+        &mut self,
+        config: &Gen2Config,
+        record: &[Complex],
+        slot0_start: usize,
+        payload: &[u8],
+        scratch: &mut BatchScratch,
+        counter: &mut ErrorCounter,
+    ) -> bool {
+        self.payload.clear();
+        self.payload.extend_from_slice(payload);
+        scratch.digitized.clear();
+        {
+            let _t = uwb_obs::span!("rx_agc_adc");
+            let rx = &self.rx;
+            scratch
+                .digitized
+                .push_lane_with(|buf, _base| rx.digitize_append(record, buf));
+        }
+        self.count_errors_predigitized(config, scratch.digitized.lane(0), slot0_start, counter)
+    }
+
+    /// Known-timing BER back half over an already-digitized record (one
+    /// lane of the batched arena): statistics → decode → error count. Same
+    /// sequence as [`count_errors_in_record`](Self::count_errors_in_record)
+    /// minus the AGC/ADC pass, which the batched runtime runs as its own
+    /// stage sweep.
+    fn count_errors_predigitized(
+        &mut self,
+        config: &Gen2Config,
+        digitized: &[Complex],
+        slot0_start: usize,
+        counter: &mut ErrorCounter,
+    ) -> bool {
+        self.rx.payload_statistics_predigitized_with(
+            digitized,
+            slot0_start,
+            self.payload.len(),
+            &mut self.rx_state,
+            &mut self.stats,
+        );
+        let _t = uwb_obs::span!("rx_decode");
+        if decode_payload_bits_into(
+            &self.stats,
+            self.payload.len(),
+            config,
+            &mut self.frame_scratch,
+            &mut self.bits,
+        )
+        .is_ok()
+        {
+            let before = counter.errors;
+            reference_payload_bits_into(&self.payload, &mut self.frame_scratch, &mut self.ref_bits);
+            counter.add_bits(&self.ref_bits, &self.bits);
+            uwb_obs::hist!("trial_bit_errors", counter.errors - before);
+            uwb_obs::digest!("trial_bit_errors", counter.errors - before);
+            counter.errors == before
+        } else {
+            false
+        }
+    }
+
     /// BER-only trial: known-timing statistics path. Zero steady-state heap
     /// allocation on the nominal configuration.
     pub fn trial_ber(
@@ -741,6 +885,188 @@ impl LinkWorker {
         // the engine armed it): bit errors first, then the acquisition
         // confidence as tiebreak.
         uwb_obs::recorder::observe(outcome.ber.errors - ber_before, acq_metric_bits);
+    }
+
+    /// The shared front half of both batched trial kinds, run as three
+    /// stage sweeps over the whole batch: (1) payload → frame → channel →
+    /// interferer, each trial's clean record appended to its own arena
+    /// lane; (2) calibrated AWGN (and the optional notch defense) over
+    /// every lane, replayed from each trial's captured RNG state; (3)
+    /// AGC/ADC, digitizing each lane into the second arena.
+    ///
+    /// Every per-trial operation re-tags the telemetry trial index with
+    /// `set_trial`, so spans, notes, and the flight recorder attribute work
+    /// to the right trial even though the execution order interleaves
+    /// stages across trials. Per-trial RNG streams are re-derived from the
+    /// scenario seed exactly as the unbatched engine path derives them —
+    /// each trial's draws are independent of batch width.
+    fn sweep_synthesize(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        block_len: usize,
+        trials: Range<u64>,
+        scratch: &mut BatchScratch,
+    ) {
+        scratch.reset();
+
+        // Stage sweep 1: clean synthesis into the record lanes.
+        for t in trials.clone() {
+            uwb_obs::set_trial(t);
+            let mut rng = Rand::for_trial(scenario.seed, t);
+            let mut clean = None;
+            let (tx_self, records) = (&mut *self, &mut scratch.records);
+            records.push_lane_with(|buf, _base| {
+                clean = Some(tx_self.synthesize_clean_streamed_append(
+                    scenario,
+                    payload_len,
+                    block_len,
+                    &mut rng,
+                    buf,
+                ));
+            });
+            scratch.clean.push(clean.expect("lane builder ran"));
+            let i = scratch.clean.len() - 1;
+            if scratch.payloads.len() <= i {
+                scratch.payloads.push(Vec::new());
+            }
+            scratch.payloads[i].clear();
+            scratch.payloads[i].extend_from_slice(&self.payload);
+        }
+
+        // Stage sweep 2: receiver noise (and the optional notch defense),
+        // replayed per lane from the RNG state captured at synthesis time —
+        // bit-identical to the unbatched whole-record pass.
+        let fs = scenario.config.sample_rate;
+        for (i, t) in trials.clone().enumerate() {
+            uwb_obs::set_trial(t);
+            let n0 = scratch.clean[i].n0;
+            let awgn_rng = scratch.clean[i].awgn_rng.clone();
+            {
+                let _t = uwb_obs::span!("awgn");
+                let mut awgn = StreamingAwgn::new(n0, awgn_rng);
+                awgn.process_block(scratch.records.lane_mut(i), self.rx_state.scratch());
+            }
+            if scenario.notch_enabled {
+                self.apply_notch_lane(fs, scratch.records.lane_mut(i));
+            }
+        }
+
+        // Stage sweep 3: AGC/ADC, each impaired lane digitized into the
+        // second arena.
+        for (i, t) in trials.enumerate() {
+            uwb_obs::set_trial(t);
+            let _t = uwb_obs::span!("rx_agc_adc");
+            let BatchScratch {
+                records, digitized, ..
+            } = scratch;
+            let rx = &self.rx;
+            digitized.push_lane_with(|buf, _base| rx.digitize_append(records.lane(i), buf));
+        }
+    }
+
+    /// BER-only batched trial: runs the stage sweeps of
+    /// [`sweep_synthesize`](Self::sweep_synthesize) over `trials`, then a
+    /// final known-timing statistics → decode → count sweep. Counters,
+    /// telemetry fingerprint, and flight-recorder report are bit-identical
+    /// to running [`trial_ber_streamed`](Self::trial_ber_streamed) once per
+    /// trial — the batch width only changes execution order, never any
+    /// arithmetic or RNG stream. Zero steady-state heap allocation once the
+    /// scratch has warmed.
+    pub fn trial_batch_ber_streamed(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        block_len: usize,
+        trials: Range<u64>,
+        scratch: &mut BatchScratch,
+        counter: &mut ErrorCounter,
+    ) {
+        self.sweep_synthesize(scenario, payload_len, block_len, trials.clone(), scratch);
+
+        // Stage sweep 4: chanest/rake/decode, one trial at a time (the
+        // receiver state is inherently per-trial).
+        for (i, t) in trials.enumerate() {
+            uwb_obs::set_trial(t);
+            let before = counter.errors;
+            self.payload.clear();
+            self.payload.extend_from_slice(&scratch.payloads[i]);
+            self.count_errors_predigitized(
+                &scenario.config,
+                scratch.digitized.lane(i),
+                scratch.clean[i].slot0_start,
+                counter,
+            );
+            uwb_obs::recorder::observe(counter.errors - before, 0);
+        }
+    }
+
+    /// Full batched trial (BER path plus full-acquisition packet path):
+    /// the stage sweeps of [`sweep_synthesize`](Self::sweep_synthesize),
+    /// then an acquisition sweep over every digitized lane — with the
+    /// correlator bank's template spectrum warmed **once per batch** rather
+    /// than looked up per trial — and finally the per-trial chanest/rake/
+    /// decode + packet-decode back half. Bit-identical outcome to running
+    /// [`trial_full`](Self::trial_full) on the streamed synthesis path once
+    /// per trial.
+    pub fn trial_batch_full_streamed(
+        &mut self,
+        scenario: &LinkScenario,
+        payload_len: usize,
+        block_len: usize,
+        trials: Range<u64>,
+        scratch: &mut BatchScratch,
+        outcome: &mut LinkOutcome,
+    ) {
+        self.sweep_synthesize(scenario, payload_len, block_len, trials.clone(), scratch);
+
+        // Stage sweep 4: coarse acquisition across every lane, over a
+        // template spectrum built once for the whole batch.
+        if scratch.digitized.lanes() > 0 {
+            self.rx.warm_acquisition(scratch.digitized.lane(0).len());
+        }
+        for (i, t) in trials.clone().enumerate() {
+            uwb_obs::set_trial(t);
+            let acq = self
+                .rx
+                .acquire_record(scratch.digitized.lane(i), &mut self.rx_state);
+            scratch.acq.push(acq);
+        }
+
+        // Stage sweep 5: known-timing BER path, then the packet decode from
+        // the already-swept acquisition, per trial.
+        for (i, t) in trials.enumerate() {
+            uwb_obs::set_trial(t);
+            let ber_before = outcome.ber.errors;
+            self.payload.clear();
+            self.payload.extend_from_slice(&scratch.payloads[i]);
+            self.count_errors_predigitized(
+                &scenario.config,
+                scratch.digitized.lane(i),
+                scratch.clean[i].slot0_start,
+                &mut outcome.ber,
+            );
+
+            outcome.packets += 1;
+            let acq_metric_bits = match self.rx.receive_packet_acquired(
+                scratch.digitized.lane(i),
+                &scratch.acq[i],
+                &mut self.rx_state,
+            ) {
+                Ok(pkt) => {
+                    if pkt.payload == self.payload {
+                        outcome.packets_ok += 1;
+                    }
+                    pkt.acquisition.metric.to_bits()
+                }
+                Err(PhyError::SyncFailed) => {
+                    outcome.sync_failures += 1;
+                    0
+                }
+                Err(_) => 0,
+            };
+            uwb_obs::recorder::observe(outcome.ber.errors - ber_before, acq_metric_bits);
+        }
     }
 }
 
@@ -872,7 +1198,13 @@ pub fn run_ber_fast_streamed(
     )
 }
 
-/// [`run_ber_fast_streamed`] with an explicit block length and trial budget.
+/// [`run_ber_fast_streamed`] with an explicit block length and trial
+/// budget. Since the structure-of-arrays port this runs on the **batched**
+/// engine path ([`MonteCarlo::run_batched`]): each worker sweeps every DSP
+/// stage across `UWB_BATCH` consecutive trials (default
+/// [`uwb_sim::montecarlo::DEFAULT_BATCH`]) before moving to the next
+/// stage. Counters, telemetry fingerprint, and worst-trial report are
+/// bit-identical for any batch width and any `UWB_THREADS`.
 pub fn run_ber_fast_streamed_budgeted(
     scenario: &LinkScenario,
     payload_len: usize,
@@ -881,10 +1213,42 @@ pub fn run_ber_fast_streamed_budgeted(
     max_bits: u64,
     budget: TrialBudget,
 ) -> BerRun {
-    let out = MonteCarlo::new(scenario.seed, budget.max_trials).run(
-        || LinkWorker::new(scenario),
-        |w, _trial, rng, acc: &mut ErrorCounter| {
-            w.trial_ber_streamed(scenario, payload_len, block_len, rng, acc)
+    run_ber_fast_streamed_tuned(
+        scenario,
+        payload_len,
+        block_len,
+        target_errors,
+        max_bits,
+        budget,
+        None,
+        None,
+    )
+}
+
+/// [`run_ber_fast_streamed_budgeted`] with explicit batch width and worker
+/// thread count overrides (`None` → `UWB_BATCH` / `UWB_THREADS`) — the
+/// hook the batch-invariance tests and benchmarks drive.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ber_fast_streamed_tuned(
+    scenario: &LinkScenario,
+    payload_len: usize,
+    block_len: usize,
+    target_errors: u64,
+    max_bits: u64,
+    budget: TrialBudget,
+    batch: Option<u64>,
+    threads: Option<usize>,
+) -> BerRun {
+    let batch = resolve_batch(batch);
+    let mut mc = MonteCarlo::new(scenario.seed, budget.max_trials);
+    if threads.is_some() {
+        mc.threads = threads;
+    }
+    let out = mc.run_batched(
+        batch,
+        || (LinkWorker::new(scenario), BatchScratch::new()),
+        |(w, scratch): &mut (LinkWorker, BatchScratch), trials, acc: &mut ErrorCounter| {
+            w.trial_batch_ber_streamed(scenario, payload_len, block_len, trials, scratch, acc)
         },
         |acc| acc.errors >= target_errors || acc.total >= max_bits,
     );
@@ -1173,5 +1537,140 @@ mod tests {
     fn channel_stats_helper() {
         let rms = channel_rms_delay_ns(ChannelModel::Cm3, 20, 7);
         assert!(rms > 5.0 && rms < 30.0, "{rms}");
+    }
+
+    #[test]
+    fn batched_ber_trials_match_unbatched_bitwise() {
+        // The stage-sweep path re-derives every trial's RNG stream and runs
+        // the exact same arithmetic as the one-trial-at-a-time streamed
+        // path, so the counter must agree bit-for-bit for every batch
+        // width — including on multipath, where both paths share the
+        // streamed convolution.
+        for sc in [
+            LinkScenario::awgn(small_config(), 4.0, 41),
+            LinkScenario {
+                channel: ChannelModel::Cm1,
+                ..LinkScenario::awgn(small_config(), 8.0, 43)
+            },
+        ] {
+            let trials = 8u64;
+            let mut reference = ErrorCounter::default();
+            let mut w = LinkWorker::new(&sc);
+            for t in 0..trials {
+                let mut rng = Rand::for_trial(sc.seed, t);
+                w.trial_ber_streamed(&sc, 32, DEFAULT_STREAM_BLOCK, &mut rng, &mut reference);
+            }
+            for batch in [1u64, 2, 4, 8] {
+                let mut w = LinkWorker::new(&sc);
+                let mut scratch = BatchScratch::new();
+                let mut c = ErrorCounter::default();
+                let mut lo = 0;
+                while lo < trials {
+                    let hi = (lo + batch).min(trials);
+                    w.trial_batch_ber_streamed(
+                        &sc,
+                        32,
+                        DEFAULT_STREAM_BLOCK,
+                        lo..hi,
+                        &mut scratch,
+                        &mut c,
+                    );
+                    lo = hi;
+                }
+                assert_eq!(c, reference, "batch {batch} ({:?})", sc.channel);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_full_trials_match_trial_full_awgn() {
+        // On AWGN the streamed record is bit-identical to the batch record,
+        // so the batched full path (stage-swept acquisition + packet
+        // decode) must reproduce `trial_full`'s outcome exactly.
+        let sc = LinkScenario::awgn(small_config(), 6.0, 45);
+        let trials = 6u64;
+        let mut reference = LinkOutcome::default();
+        let mut w = LinkWorker::new(&sc);
+        for t in 0..trials {
+            let mut rng = Rand::for_trial(sc.seed, t);
+            w.trial_full(&sc, 24, &mut rng, &mut reference);
+        }
+        for batch in [1u64, 3, 8] {
+            let mut w = LinkWorker::new(&sc);
+            let mut scratch = BatchScratch::new();
+            let mut outcome = LinkOutcome::default();
+            let mut lo = 0;
+            while lo < trials {
+                let hi = (lo + batch).min(trials);
+                w.trial_batch_full_streamed(
+                    &sc,
+                    24,
+                    DEFAULT_STREAM_BLOCK,
+                    lo..hi,
+                    &mut scratch,
+                    &mut outcome,
+                );
+                lo = hi;
+            }
+            assert_eq!(outcome, reference, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn streamed_runner_is_batch_width_invariant() {
+        // The engine-level contract: the tuned runner returns the same
+        // counter and stop reason for every batch width (and matches the
+        // unbatched fast runner on AWGN).
+        let sc = LinkScenario::awgn(small_config(), 5.0, 47);
+        let unbatched = run_ber_fast(&sc, 32, 40, 60_000);
+        for batch in [1u64, 2, 4, 8] {
+            let run = run_ber_fast_streamed_tuned(
+                &sc,
+                32,
+                DEFAULT_STREAM_BLOCK,
+                40,
+                60_000,
+                TrialBudget::default(),
+                Some(batch),
+                None,
+            );
+            assert_eq!(run.counter, unbatched.counter, "batch {batch}");
+            assert_eq!(run.stop, unbatched.stop, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn batched_decode_with_payload_matches_fused() {
+        // The network simulator's batched decode entry point must agree
+        // bit-for-bit with the fused record path it replaces.
+        let sc = LinkScenario::awgn(small_config(), 5.0, 49);
+        let mut w = LinkWorker::new(&sc);
+        let mut rng = Rand::for_trial(sc.seed, 0);
+        let clean = w.synthesize_clean_streamed(&sc, 32, DEFAULT_STREAM_BLOCK, &mut rng);
+        w.apply_awgn_to_record(clean.n0, clean.awgn_rng.clone());
+        let record = w.clean_record().to_vec();
+        let payload = w.payload_bytes().to_vec();
+
+        let mut fused = ErrorCounter::default();
+        let ok_fused = w.count_errors_in_record_with_payload(
+            &sc.config,
+            &record,
+            clean.slot0_start,
+            &payload,
+            &mut fused,
+        );
+
+        let mut scratch = BatchScratch::new();
+        let mut batched = ErrorCounter::default();
+        let ok_batched = w.count_errors_in_record_with_payload_batched(
+            &sc.config,
+            &record,
+            clean.slot0_start,
+            &payload,
+            &mut scratch,
+            &mut batched,
+        );
+        assert_eq!(ok_fused, ok_batched);
+        assert_eq!(fused, batched);
     }
 }

@@ -34,8 +34,17 @@
 #                             committed BENCH_net.json baseline; fails if
 #                             any gated metric regresses by more than
 #                             BENCH_TOL percent (default 15)
+#   scripts/check.sh batch    batched-runtime gate: batch-width invariance
+#                             (B in {1,2,4,8} x threads in {1,2,4,8} must be
+#                             bit-identical — counters, stop reason,
+#                             telemetry fingerprint, flight-recorder
+#                             report), the platform batched-parity unit
+#                             tests, the allocation gate (covers the warm
+#                             batched trial), and the smoke binary under
+#                             UWB_BATCH=1 and UWB_BATCH=8
 #   scripts/check.sh all      tier-1, then the whole workspace's tests, then
-#                             smoke, then obs, then stream, then net
+#                             smoke, then obs, then stream, then net, then
+#                             batch
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -118,6 +127,19 @@ net() {
     UWB_THREADS=1 ./target/release/netbench --check BENCH_net.json --tol "$tol"
 }
 
+batch() {
+    echo "== batch: batch-width x thread-count invariance =="
+    cargo test -q --release --test batch_parity
+    echo "== batch: platform batched stage-sweep parity units =="
+    cargo test -q --release -p uwb-platform batched
+    echo "== batch: zero-allocation warm batched trial =="
+    cargo test -q --release --test alloc_regression
+    echo "== batch: smoke at UWB_BATCH=1 and UWB_BATCH=8 =="
+    cargo build --release -p uwb-bench --bin smoke
+    UWB_BATCH=1 ./target/release/smoke
+    UWB_BATCH=8 ./target/release/smoke
+}
+
 case "$mode" in
 tier1)
     tier1
@@ -137,6 +159,9 @@ stream)
 net)
     net
     ;;
+batch)
+    batch
+    ;;
 all)
     tier1
     echo "== workspace: cargo test -q --workspace =="
@@ -145,9 +170,10 @@ all)
     obs
     stream
     net
+    batch
     ;;
 *)
-    echo "usage: scripts/check.sh [tier1|smoke|bench|obs|stream|net|all]" >&2
+    echo "usage: scripts/check.sh [tier1|smoke|bench|obs|stream|net|batch|all]" >&2
     exit 2
     ;;
 esac

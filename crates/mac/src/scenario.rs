@@ -1,0 +1,129 @@
+//! MAC-layer scenario specification.
+//!
+//! A [`MacScenario`] wraps a [`uwb_net::NetScenario`] (geometry, channel
+//! policy, PHY config, interference coupling) with everything the MAC
+//! layer adds on top: the traffic model, queueing, carrier-sense and
+//! backoff parameters, and the stop-and-wait ARQ knobs. It is the input
+//! to [`crate::plan::plan_mac`].
+
+use crate::traffic::TrafficModel;
+use uwb_net::NetScenario;
+
+/// A complete MAC simulation scenario.
+#[derive(Debug, Clone)]
+pub struct MacScenario {
+    /// The underlying piconet (links, channels, coupling, Eb/N0). The
+    /// `rounds` field is ignored — the MAC layer measures over
+    /// [`MacScenario::horizon_slots`] × [`MacScenario::replications`]
+    /// instead.
+    pub net: NetScenario,
+    /// Per-link packet arrival process.
+    pub traffic: TrafficModel,
+    /// Bounded transmit FIFO depth per link; arrivals beyond this are
+    /// dropped and counted (`dropped_queue`).
+    pub queue_cap: usize,
+    /// Carrier-sense granularity in samples. All airtimes are quantized
+    /// to this; smaller slots sense (and collide) at finer resolution but
+    /// cost more events.
+    pub slot_samples: usize,
+    /// Coupling-amplitude threshold (dB) above which a neighbor is
+    /// *sensable*: edges in the interference graph at or above this gain
+    /// defer to each other (CSMA); edges below it are hidden terminals
+    /// whose transmissions still mix into the victim's record but cannot
+    /// be sensed.
+    pub sense_threshold_db: f64,
+    /// Base contention window (slots): a deferred or failed attempt backs
+    /// off uniformly in `[1, 1 + cw0 << be)`.
+    pub cw0: u64,
+    /// Binary-exponential-backoff cap: the backoff exponent `be`
+    /// saturates here.
+    pub bexp_max: u32,
+    /// Stop-and-wait ARQ retry limit: a packet is dropped
+    /// (`dropped_retry`) after `1 + max_retries` failed transmissions.
+    pub max_retries: u32,
+    /// ACK airtime in sense slots (the ACK occupies the channel for
+    /// sensing but is modeled at event level — no ACK waveform is
+    /// synthesized).
+    pub ack_slots: u64,
+    /// Slots after a data frame's end before the transmitter declares an
+    /// ACK timeout. Must be ≥ `ack_slots`.
+    pub ack_timeout_slots: u64,
+    /// Probability that a correctly decoded frame's ACK is lost anyway
+    /// (models the unsimulated reverse channel; forces ARQ retransmission
+    /// of a delivered frame).
+    pub ack_loss: f64,
+    /// Arrival horizon in sense slots: no packet arrives at or after this
+    /// time. Queues drain to completion afterwards, so at the end of a
+    /// trial `offered == delivered + dropped` exactly.
+    pub horizon_slots: u64,
+    /// Independent trial replications (each is one Monte-Carlo trial on
+    /// the deterministic ordered-merge engine).
+    pub replications: u64,
+}
+
+impl MacScenario {
+    /// An `n`-user ring piconet (see [`NetScenario::ring`]) carrying
+    /// Poisson traffic at `load` Erlangs per link, with the repo's
+    /// fast-test MAC defaults.
+    pub fn ring(n: usize, ebn0_db: f64, load: f64, seed: u64) -> MacScenario {
+        let mut net = NetScenario::ring(n, ebn0_db, seed);
+        net.probe_spectral = false;
+        MacScenario {
+            net,
+            traffic: TrafficModel::Poisson { load },
+            queue_cap: 8,
+            slot_samples: 512,
+            sense_threshold_db: -30.0,
+            cw0: 8,
+            bexp_max: 5,
+            max_retries: 6,
+            ack_slots: 2,
+            ack_timeout_slots: 4,
+            ack_loss: 0.0,
+            horizon_slots: 2_000,
+            replications: 4,
+        }
+    }
+
+    /// A clustered-city piconet (see [`NetScenario::clustered_city`]) for
+    /// large-N offered-load sweeps: one replication, shorter horizon.
+    pub fn clustered_city(
+        clusters: usize,
+        per_cluster: usize,
+        ebn0_db: f64,
+        load: f64,
+        seed: u64,
+    ) -> MacScenario {
+        let mut sc = MacScenario::ring(1, ebn0_db, load, seed);
+        sc.net = NetScenario::clustered_city(clusters, per_cluster, ebn0_db, seed);
+        sc.net.probe_spectral = false;
+        sc.horizon_slots = 600;
+        sc.replications = 1;
+        sc
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.net.len()
+    }
+
+    /// `true` when the scenario has no links.
+    pub fn is_empty(&self) -> bool {
+        self.net.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_defaults_are_consistent() {
+        let sc = MacScenario::ring(4, 9.0, 0.5, 7);
+        assert_eq!(sc.len(), 4);
+        assert!(!sc.is_empty());
+        assert!(sc.ack_timeout_slots >= sc.ack_slots);
+        assert!(sc.queue_cap > 0 && sc.slot_samples > 0 && sc.cw0 > 0);
+        assert_eq!(sc.traffic.load(), 0.5);
+    }
+}

@@ -243,6 +243,38 @@ pub fn build_coupling_sparse(
     rows
 }
 
+/// Carrier-sense neighbor sets derived from the directed coupling graph.
+///
+/// Link `l` *senses* link `u` when either directed coupling between the
+/// pair has a relative power gain at or above `sense_threshold_db` (rows
+/// store linear **amplitude** gains, so the comparison threshold is
+/// `10^(dB/20)`). The relation is symmetrized — carrier sense is a
+/// listen-before-talk energy measurement, approximately reciprocal even
+/// though interference coupling (whose reference is each victim's own
+/// signal) is not.
+///
+/// Edges *in the coupling graph but below the sense threshold* are exactly
+/// the hidden-terminal pairs: a MAC layer deferring on these sets will
+/// still collide on those edges, and the collision energy genuinely lands
+/// in the victim's mixed record. Each set is ascending and deduplicated.
+pub fn sense_sets(rows: &[CouplingRow], sense_threshold_db: f64) -> Vec<Vec<usize>> {
+    let thr = 10f64.powf(sense_threshold_db / 20.0);
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); rows.len()];
+    for (v, row) in rows.iter().enumerate() {
+        for &(u, gain) in row {
+            if gain >= thr {
+                sets[v].push(u);
+                sets[u].push(v);
+            }
+        }
+    }
+    for s in &mut sets {
+        s.sort_unstable();
+        s.dedup();
+    }
+    sets
+}
+
 /// Default grid cell: about one transmitter per cell over the bounding box.
 fn auto_cell_m(topology: &Topology) -> f64 {
     let xs = topology.links.iter().map(|l| l.tx.x);
@@ -293,6 +325,27 @@ mod tests {
 
     fn ch(i: usize) -> Channel {
         Channel::new(i).unwrap()
+    }
+
+    #[test]
+    fn sense_sets_symmetrize_and_threshold() {
+        // 3 links; directed rows: 0 hears 1 loudly (0 dB), 1 hears 2
+        // faintly (-60 dB), 2 hears nobody.
+        let rows: Vec<CouplingRow> = vec![
+            vec![(1, 1.0)],
+            vec![(2, 1e-3)],
+            vec![],
+        ];
+        // Threshold between the two edge strengths: only the 0<->1 pair is
+        // mutually sensed; the 1<-2 edge stays a hidden terminal.
+        let sets = sense_sets(&rows, -40.0);
+        assert_eq!(sets[0], vec![1], "0 senses 1");
+        assert_eq!(sets[1], vec![0], "sensing is symmetrized");
+        assert!(sets[2].is_empty(), "below-threshold edge is hidden");
+        // A permissive threshold picks up the faint edge too.
+        let sets = sense_sets(&rows, -80.0);
+        assert_eq!(sets[1], vec![0, 2]);
+        assert_eq!(sets[2], vec![1]);
     }
 
     #[test]

@@ -53,6 +53,7 @@
 pub mod arena;
 pub mod controller;
 pub mod coupling;
+pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -60,8 +61,9 @@ pub mod scenario;
 pub use arena::{RecordArena, RecordSchedule};
 pub use controller::{link_seed, plan_network, NetLinkPlan, NetPlan};
 pub use coupling::{
-    build_coupling, build_coupling_sparse, coupling_db, CouplingParams, CouplingRow,
+    build_coupling, build_coupling_sparse, coupling_db, sense_sets, CouplingParams, CouplingRow,
 };
+pub use pool::WorkerPool;
 pub use report::{LinkReport, NetReport};
 pub use runner::{
     run_network, run_plan, run_plan_threads, LinkRoundStats, NetAccumulator, NetWorker,

@@ -32,26 +32,38 @@ impl LinkReport {
     /// Assembles a link report from its plan entry and round statistics.
     pub fn new(plan: &NetLinkPlan, stats: &LinkRoundStats) -> LinkReport {
         let bit_rate = plan.scenario.config.bit_rate();
+        // An unmeasured link (zero packets, PER = NaN) delivered nothing:
+        // its goodput is 0, not NaN — a NaN here would poison the aggregate
+        // network throughput sum.
+        let throughput_bps = if stats.packets == 0 {
+            0.0
+        } else {
+            bit_rate * (1.0 - stats.per())
+        };
         LinkReport {
             channel: plan.channel,
             counter: stats.ber,
             packets: stats.packets,
             packets_bad: stats.packets_bad,
             bit_rate,
-            throughput_bps: bit_rate * (1.0 - stats.per()),
+            throughput_bps,
             interference_rel_db: plan.interference_rel_db,
         }
     }
 
-    /// Measured bit error rate.
+    /// Measured bit error rate (`NaN` when no bits were counted).
     pub fn ber(&self) -> f64 {
         self.counter.rate()
     }
 
     /// Measured packet error rate.
+    ///
+    /// `NaN` when no packets were attempted — the same no-data contract as
+    /// [`ErrorCounter::rate`] and [`LinkRoundStats::per`]: an unmeasured
+    /// link must stay distinguishable from a link measured error-free.
     pub fn per(&self) -> f64 {
         if self.packets == 0 {
-            0.0
+            f64::NAN
         } else {
             self.packets_bad as f64 / self.packets as f64
         }
@@ -107,13 +119,18 @@ impl NetReport {
             } else {
                 "-inf".to_string()
             };
+            let per = r.per();
             t.row(vec![
                 l.to_string(),
                 r.channel.index().to_string(),
                 r.counter.total.to_string(),
                 r.counter.errors.to_string(),
                 format!("{:.2e}", r.ber()),
-                format!("{:.3}", r.per()),
+                if per.is_nan() {
+                    "n/a".to_string()
+                } else {
+                    format!("{per:.3}")
+                },
                 isr,
                 format!("{:.1}", r.throughput_bps / 1e6),
             ]);
@@ -139,5 +156,32 @@ mod tests {
         let r = LinkReport::new(&plan.links[0], &stats);
         assert!((r.throughput_bps - r.bit_rate * 0.75).abs() < 1e-6);
         assert_eq!(r.per(), 0.25);
+    }
+
+    #[test]
+    fn unmeasured_link_reports_nan_per_and_zero_goodput() {
+        let plan = crate::controller::plan_network(&crate::scenario::NetScenario::ring(
+            1, 8.0, 9,
+        ));
+        let r = LinkReport::new(&plan.links[0], &LinkRoundStats::default());
+        assert!(r.per().is_nan(), "no packets must read as no-data");
+        assert_eq!(r.throughput_bps, 0.0, "no data delivered -> zero goodput");
+        // The aggregate (a plain sum over links) stays finite even with
+        // unmeasured links in the mix.
+        let aggregate: f64 = [&r].iter().map(|l| l.throughput_bps).sum();
+        assert!(aggregate.is_finite());
+    }
+
+    #[test]
+    fn zero_round_run_renders_na_per() {
+        // End-to-end no-data path: a zero-round measurement must report
+        // NaN PER, zero goodput, and render "n/a" in the table.
+        let mut sc = crate::scenario::NetScenario::ring(1, 8.0, 9);
+        sc.rounds = 0;
+        sc.probe_spectral = false;
+        let report = crate::runner::run_network(&sc);
+        assert!(report.links[0].per().is_nan());
+        assert_eq!(report.aggregate_throughput_bps, 0.0);
+        assert!(report.table().to_string().contains("n/a"));
     }
 }

@@ -33,8 +33,7 @@ use crate::scenario::NetScenario;
 use uwb_dsp::scratch::DspScratch;
 use uwb_dsp::stream::accumulate_scaled;
 use uwb_dsp::Complex;
-use uwb_phy::Gen2Config;
-use uwb_platform::link::{BatchScratch, CleanSynthesis, LinkWorker};
+use uwb_platform::link::{BatchScratch, CleanSynthesis};
 use uwb_platform::metrics::ErrorCounter;
 use uwb_sim::montecarlo::{Merge, MonteCarlo};
 use uwb_sim::stream::StreamingAwgn;
@@ -53,9 +52,13 @@ pub struct LinkRoundStats {
 
 impl LinkRoundStats {
     /// Packet error rate over the contributing rounds.
+    ///
+    /// `NaN` when no packets were attempted — same no-data contract as
+    /// [`ErrorCounter::rate`]: "no packets" is *not knowing* the PER, which
+    /// must stay distinguishable from a measured PER of zero.
     pub fn per(&self) -> f64 {
         if self.packets == 0 {
-            0.0
+            f64::NAN
         } else {
             self.packets_bad as f64 / self.packets as f64
         }
@@ -113,16 +116,14 @@ impl Merge for NetAccumulator {
 /// mixing buffers. Constructed once per engine worker; everything warm is
 /// allocation-free.
 ///
-/// The pool holds one worker per **distinct** `Gen2Config` rather than one
-/// per link — a worker only carries configuration-shaped machinery
-/// (transmitter, streaming channel, receiver scratch), while the per-round
-/// waveforms live in the arena and the per-link payload snapshots in
-/// `payloads`. A 10 000-link network on a round-robin policy therefore
-/// costs 14 workers, not 10 000.
+/// The pool ([`crate::pool::WorkerPool`]) holds one worker per **distinct**
+/// `Gen2Config` rather than one per link — a worker only carries
+/// configuration-shaped machinery (transmitter, streaming channel, receiver
+/// scratch), while the per-round waveforms live in the arena and the
+/// per-link payload snapshots in `payloads`. A 10 000-link network on a
+/// round-robin policy therefore costs 14 workers, not 10 000.
 pub struct NetWorker {
-    pool: Vec<LinkWorker>,
-    /// Per link: index of its configuration's worker in `pool`.
-    config_of: Vec<u32>,
+    pool: crate::pool::WorkerPool,
     schedule: RecordSchedule,
     arena: RecordArena,
     /// Per link: this round's synthesis metadata (slot-0 index, calibrated
@@ -147,26 +148,11 @@ impl NetWorker {
     /// frozen plan.
     pub fn new(plan: &NetPlan) -> Self {
         let n = plan.len();
-        let mut pool: Vec<LinkWorker> = Vec::new();
-        let mut pool_configs: Vec<&Gen2Config> = Vec::new();
-        let mut config_of = Vec::with_capacity(n);
-        for l in &plan.links {
-            let cfg = &l.scenario.config;
-            let id = match pool_configs.iter().position(|c| *c == cfg) {
-                Some(i) => i,
-                None => {
-                    pool_configs.push(cfg);
-                    pool.push(LinkWorker::new(&l.scenario));
-                    pool_configs.len() - 1
-                }
-            };
-            config_of.push(id as u32);
-        }
+        let pool = crate::pool::WorkerPool::new(plan);
         let schedule = RecordSchedule::build(n, &plan.coupling);
         let arena = RecordArena::new(n, schedule.max_live());
         NetWorker {
             pool,
-            config_of,
             schedule,
             arena,
             clean: (0..n).map(|_| None).collect(),
@@ -189,7 +175,7 @@ impl NetWorker {
         }
         let _t = uwb_obs::span!("net_schedule");
         let mut rng = Rand::for_trial(plan.link_seed(u), round);
-        let worker = &mut self.pool[self.config_of[u] as usize];
+        let worker = self.pool.worker_for(u);
         let clean = worker.synthesize_clean_streamed_record(
             &plan.links[u].scenario,
             plan.payload_len,
@@ -251,7 +237,7 @@ impl NetWorker {
             let errs_before = stats.ber.errors;
             stats.packets += 1;
             let config = &plan.links[v].scenario.config;
-            let rx = &mut self.pool[self.config_of[v] as usize];
+            let rx = self.pool.worker_for(v);
             let ok = if row.is_empty() && self.schedule.last_use(v) == v {
                 // Isolated victim: nobody mixes this record and nobody else
                 // reads it — apply receiver noise in place and decode from
@@ -406,8 +392,16 @@ mod tests {
     }
 
     #[test]
-    fn per_handles_zero_packets() {
+    fn per_distinguishes_no_data_from_zero_errors() {
+        // No packets -> NaN (the ErrorCounter::rate no-data contract), NOT
+        // 0.0: "never measured" must not read as "perfect".
         let s = LinkRoundStats::default();
+        assert!(s.per().is_nan());
+        let s = LinkRoundStats {
+            packets: 4,
+            packets_bad: 0,
+            ..Default::default()
+        };
         assert_eq!(s.per(), 0.0);
         let s = LinkRoundStats {
             packets: 4,

@@ -1,0 +1,116 @@
+//! Property-based tests for the convolutional codec (`uwb_phy::fec`).
+//!
+//! Complements the basic roundtrip in `tests/properties.rs` with the
+//! structural invariants the MAC/link layers rely on: trellis termination,
+//! hard/soft decoder agreement when every sign is right, and the scale
+//! invariance of the correlation metric.
+
+use proptest::prelude::*;
+use uwb_phy::fec::{bits_to_bytes, bytes_to_bits, ConvCode};
+
+fn any_code() -> impl Strategy<Value = ConvCode> {
+    prop_oneof![Just(ConvCode::k3()), Just(ConvCode::k7())]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Encode → decode is the identity for both built-in codes, via both
+    /// the hard and the soft entry point.
+    #[test]
+    fn roundtrip_hard_and_soft(
+        code in any_code(),
+        bits in prop::collection::vec(any::<bool>(), 0..256),
+    ) {
+        let coded = code.encode(&bits);
+        prop_assert_eq!(code.decode_hard(&coded), bits.clone());
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b { 4.0 } else { -4.0 })
+            .collect();
+        prop_assert_eq!(code.decode_soft(&llrs), bits);
+    }
+
+    /// Trellis termination: the `K − 1` zero tail drives the encoder back
+    /// to the zero state, so (a) output length is exactly
+    /// `2 * (n + K − 1)`, (b) explicitly appending the tail to the message
+    /// reproduces the same codeword followed by all-zero pairs, and
+    /// (c) the all-zero message maps to the all-zero codeword.
+    #[test]
+    fn termination_returns_encoder_to_zero_state(
+        code in any_code(),
+        bits in prop::collection::vec(any::<bool>(), 0..128),
+        zero_len in 0usize..64,
+    ) {
+        let k = code.constraint_length as usize;
+        let coded = code.encode(&bits);
+        prop_assert_eq!(coded.len(), 2 * (bits.len() + k - 1));
+
+        // Append the tail by hand: the first 2*(n + K − 1) coded bits must
+        // be identical (same inputs), and the extra 2*(K − 1) bits must be
+        // zero because the shift register is already flushed.
+        let mut extended = bits.clone();
+        extended.extend(std::iter::repeat_n(false, k - 1));
+        let coded_ext = code.encode(&extended);
+        prop_assert_eq!(&coded_ext[..coded.len()], &coded[..]);
+        prop_assert!(
+            coded_ext[coded.len()..].iter().all(|&b| !b),
+            "a flushed encoder fed zeros must emit zeros"
+        );
+
+        // Linearity corner: zero in → zero out.
+        let zeros = vec![false; zero_len];
+        prop_assert!(code.encode(&zeros).iter().all(|&b| !b));
+    }
+
+    /// With every soft input carrying the correct sign and a magnitude
+    /// bounded away from zero, soft and hard decoding must agree (and both
+    /// recover the message): any competing codeword differs in at least
+    /// `d_free` positions and loses twice the magnitude in each.
+    #[test]
+    fn hard_and_soft_agree_at_high_snr(
+        code in any_code(),
+        bits in prop::collection::vec(any::<bool>(), 1..160),
+        noise in prop::collection::vec(-0.9f64..0.9, 2 * (160 + 6)),
+    ) {
+        let coded = code.encode(&bits);
+        let llrs: Vec<f64> = coded
+            .iter()
+            .zip(&noise)
+            .map(|(&b, &n)| (if b { 4.0 } else { -4.0 }) + n)
+            .collect();
+        prop_assert_eq!(llrs.len(), coded.len(), "noise pool must cover the frame");
+        let hard_in: Vec<bool> = llrs.iter().map(|&l| l > 0.0).collect();
+        prop_assert_eq!(code.decode_hard(&hard_in), bits.clone());
+        prop_assert_eq!(code.decode_soft(&llrs), bits);
+    }
+
+    /// The Viterbi correlation metric is scale invariant: multiplying all
+    /// soft inputs by a positive gain cannot change the decoded message
+    /// (the AGC in front of the demodulator must not matter).
+    #[test]
+    fn soft_decoding_is_scale_invariant(
+        code in any_code(),
+        bits in prop::collection::vec(any::<bool>(), 1..96),
+        noise in prop::collection::vec(-2.0f64..2.0, 2 * (96 + 6)),
+        gain in 0.05f64..20.0,
+    ) {
+        let coded = code.encode(&bits);
+        let llrs: Vec<f64> = coded
+            .iter()
+            .zip(&noise)
+            .map(|(&b, &n)| (if b { 1.0 } else { -1.0 }) + n)
+            .collect();
+        let scaled: Vec<f64> = llrs.iter().map(|&l| l * gain).collect();
+        prop_assert_eq!(code.decode_soft(&llrs), code.decode_soft(&scaled));
+    }
+
+    /// Bit/byte packing round-trips on byte boundaries, so FEC payloads can
+    /// cross the packer without loss.
+    #[test]
+    fn bit_byte_packing_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let bits = bytes_to_bits(&bytes);
+        prop_assert_eq!(bits.len(), 8 * bytes.len());
+        prop_assert_eq!(bits_to_bytes(&bits), bytes);
+    }
+}

@@ -34,6 +34,18 @@
 #                             committed BENCH_net.json baseline; fails if
 #                             any gated metric regresses by more than
 #                             BENCH_TOL percent (default 15)
+#   scripts/check.sh mac      MAC gate: uwb-mac unit + acceptance tests
+#                             (conservation, light-load latency, saturation
+#                             knee, hidden-terminal ARQ recovery, thread
+#                             determinism), the allocation gate (covers the
+#                             warm MAC discrete-event trial), the slow
+#                             8-user thread-parity sweep, then macbench
+#                             against the committed BENCH_mac.json
+#                             baseline; fails if any gated metric regresses
+#                             by more than BENCH_TOL percent (default 15;
+#                             delivered fraction and mean latency are
+#                             bit-deterministic pins, so any drift there
+#                             means MAC/PHY behavior changed)
 #   scripts/check.sh batch    batched-runtime gate: batch-width invariance
 #                             (B in {1,2,4,8} x threads in {1,2,4,8} must be
 #                             bit-identical — counters, stop reason,
@@ -44,7 +56,7 @@
 #                             UWB_BATCH=1 and UWB_BATCH=8
 #   scripts/check.sh all      tier-1, then the whole workspace's tests, then
 #                             smoke, then obs, then stream, then net, then
-#                             batch
+#                             mac, then batch
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -127,6 +139,20 @@ net() {
     UWB_THREADS=1 ./target/release/netbench --check BENCH_net.json --tol "$tol"
 }
 
+mac() {
+    local tol="${BENCH_TOL:-15}"
+    echo "== mac: uwb-mac unit + acceptance tests =="
+    cargo build -q -p uwb-mac
+    cargo test -q -p uwb-mac
+    echo "== mac: zero-allocation warm MAC trial =="
+    cargo test -q --release --test alloc_regression
+    echo "== mac: 8-user contended run, 1/2/4/8-thread fingerprint =="
+    cargo test -q --release -p uwb-mac --test mac_acceptance -- --ignored
+    echo "== mac: macbench vs committed BENCH_mac.json (tol ${tol}%) =="
+    cargo build --release -p uwb-bench --bin macbench
+    UWB_THREADS=1 ./target/release/macbench --check BENCH_mac.json --tol "$tol"
+}
+
 batch() {
     echo "== batch: batch-width x thread-count invariance =="
     cargo test -q --release --test batch_parity
@@ -159,6 +185,9 @@ stream)
 net)
     net
     ;;
+mac)
+    mac
+    ;;
 batch)
     batch
     ;;
@@ -170,10 +199,11 @@ all)
     obs
     stream
     net
+    mac
     batch
     ;;
 *)
-    echo "usage: scripts/check.sh [tier1|smoke|bench|obs|stream|net|batch|all]" >&2
+    echo "usage: scripts/check.sh [tier1|smoke|bench|obs|stream|net|mac|batch|all]" >&2
     exit 2
     ;;
 esac

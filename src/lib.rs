@@ -63,6 +63,12 @@ pub mod net {
     pub use uwb_net::*;
 }
 
+/// Deterministic discrete-event MAC layer: traffic sources, CSMA carrier
+/// sense over the interference graph, stop-and-wait ARQ.
+pub mod mac {
+    pub use uwb_mac::*;
+}
+
 /// Observability: telemetry snapshots, span timelines, the worst-trial
 /// flight recorder, and percentile digests.
 pub mod obs {
